@@ -1,0 +1,64 @@
+// Command coskq-server serves collective spatial keyword queries over
+// HTTP: load a dataset (gob or CSV), build the engine once, and answer
+// JSON query requests. A minimal deployment surface for the library.
+//
+// Usage:
+//
+//	coskq-server -data hotel.gob -addr :8080
+//
+// Endpoints:
+//
+//	GET /stats
+//	    → {"name":..., "objects":..., "uniqueWords":..., "avgKeywords":...}
+//	GET /query?x=500&y=500&kw=w000001,w000004[&cost=maxsum][&method=exact][&k=3]
+//	    → {"cost":..., "elapsedMs":..., "objects":[{"id":..., "x":..., "y":..., "keywords":[...]}]}
+//	    kw is a comma-separated keyword list; k instead of kw asks the
+//	    server to draw k random query keywords (for demos).
+//	GET /topk?x=500&y=500&kw=...&n=5[&cost=maxsum]
+//	    → {"results":[{...}, ...]} — the n cheapest irredundant sets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+
+	"coskq"
+	"coskq/internal/server"
+)
+
+func main() {
+	var (
+		data = flag.String("data", "", "dataset file, .gob or .csv (required)")
+		addr = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "coskq-server: -data is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var (
+		ds  *coskq.Dataset
+		err error
+	)
+	if strings.HasSuffix(*data, ".csv") {
+		ds, err = coskq.LoadCSVDataset(*data)
+	} else {
+		ds, err = coskq.LoadDataset(*data)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("dataset %s: %s", ds.Name, ds.Stats())
+
+	eng := coskq.NewEngine(ds, 0)
+	log.Printf("indexes built; listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"testing"
+
+	"coskq"
+)
+
+func TestParseCost(t *testing.T) {
+	cases := map[string]coskq.CostKind{
+		"maxsum": coskq.MaxSum, "MaxSum": coskq.MaxSum, "MAXSUM": coskq.MaxSum,
+		"dia": coskq.Dia, "sum": coskq.Sum, "minmax": coskq.MinMax,
+	}
+	for in, want := range cases {
+		got, err := parseCost(in)
+		if err != nil || got != want {
+			t.Errorf("parseCost(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseCost("bogus"); err == nil {
+		t.Error("parseCost should reject unknown costs")
+	}
+}
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]coskq.Method{
+		"exact":       coskq.OwnerExact,
+		"owner-exact": coskq.OwnerExact,
+		"appro":       coskq.OwnerAppro,
+		"cao-exact":   coskq.CaoExact,
+		"cao-appro1":  coskq.CaoAppro1,
+		"cao-appro2":  coskq.CaoAppro2,
+		"brute":       coskq.Brute,
+		"greedy-sum":  coskq.GreedySum,
+	}
+	for in, want := range cases {
+		got, err := parseMethod(in)
+		if err != nil || got != want {
+			t.Errorf("parseMethod(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseMethod("bogus"); err == nil {
+		t.Error("parseMethod should reject unknown methods")
+	}
+}

@@ -1,0 +1,85 @@
+package coskq_test
+
+import (
+	"fmt"
+
+	"coskq"
+)
+
+// ExampleEngine_Solve answers one CoSKQ with the exact distance
+// owner-driven algorithm.
+func ExampleEngine_Solve() {
+	b := coskq.NewBuilder("demo")
+	b.Add(coskq.Point{X: 1, Y: 0}, "cafe")
+	b.Add(coskq.Point{X: 0, Y: 2}, "museum")
+	b.Add(coskq.Point{X: 2, Y: 2}, "cafe", "museum")
+	eng := coskq.NewEngine(b.Build(), 0)
+
+	q := coskq.Query{
+		Loc:      coskq.Point{X: 0, Y: 0},
+		Keywords: coskq.Keywords(eng, "cafe", "museum"),
+	}
+	res, err := eng.Solve(q, coskq.MaxSum, coskq.OwnerExact)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("objects %v, cost %.3f\n", res.Set, res.Cost)
+	// Output: objects [2], cost 2.828
+}
+
+// ExampleEngine_Solve_dia shows how the Dia cost can prefer a different
+// set than MaxSum on the same data: it only charges the largest single
+// distance, so two close-by objects beat one farther one-stop object.
+func ExampleEngine_Solve_dia() {
+	b := coskq.NewBuilder("demo")
+	b.Add(coskq.Point{X: 1, Y: 0}, "cafe")
+	b.Add(coskq.Point{X: 0, Y: 2}, "museum")
+	b.Add(coskq.Point{X: 2, Y: 2}, "cafe", "museum")
+	eng := coskq.NewEngine(b.Build(), 0)
+
+	q := coskq.Query{
+		Loc:      coskq.Point{X: 0, Y: 0},
+		Keywords: coskq.Keywords(eng, "cafe", "museum"),
+	}
+	res, err := eng.Solve(q, coskq.Dia, coskq.OwnerExact)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("objects %v, cost %.3f\n", res.Set, res.Cost)
+	// Output: objects [0 1], cost 2.236
+}
+
+// ExampleEngine_TopK ranks the k cheapest irredundant feasible sets.
+func ExampleEngine_TopK() {
+	b := coskq.NewBuilder("demo")
+	b.Add(coskq.Point{X: 1, Y: 0}, "cafe")
+	b.Add(coskq.Point{X: 0, Y: 2}, "museum")
+	b.Add(coskq.Point{X: 2, Y: 2}, "cafe", "museum")
+	eng := coskq.NewEngine(b.Build(), 0)
+
+	q := coskq.Query{
+		Loc:      coskq.Point{X: 0, Y: 0},
+		Keywords: coskq.Keywords(eng, "cafe", "museum"),
+	}
+	top, err := eng.TopK(q, coskq.MaxSum, 2)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range top {
+		fmt.Printf("rank %d: objects %v, cost %.3f\n", i+1, r.Set, r.Cost)
+	}
+	// Output:
+	// rank 1: objects [2], cost 2.828
+	// rank 2: objects [0 1], cost 4.236
+}
+
+// ExampleGenerate builds a dataset calibrated to the paper's Hotel
+// dataset and prints its statistics.
+func ExampleGenerate() {
+	ds := coskq.Generate(coskq.GenConfig{
+		Name: "mini", NumObjects: 1000, VocabSize: 50, AvgKeywords: 3, Seed: 1,
+	})
+	s := ds.Stats()
+	fmt.Printf("objects=%d vocab=%d\n", s.NumObjects, s.NumUniqueWords)
+	// Output: objects=1000 vocab=50
+}

@@ -1,0 +1,81 @@
+// Consortium reproduces the paper's second motivating scenario: a project
+// manager assembles a consortium of partners who collectively provide all
+// required skills and are close to each other (so collaboration is cheap).
+// Skills are keywords, partner offices are locations, and the Dia cost —
+// the larger of the manager's worst travel distance and the partners'
+// worst pairwise distance — is the natural objective.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"coskq"
+)
+
+var skills = []string{
+	"frontend", "backend", "databases", "ml", "security",
+	"devops", "mobile", "design", "legal", "marketing",
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+
+	// 3000 candidate partners spread over a few tech hubs; each offers a
+	// couple of skills.
+	b := coskq.NewBuilder("partners")
+	hubs := []coskq.Point{{X: 100, Y: 100}, {X: 800, Y: 200}, {X: 400, Y: 700}, {X: 650, Y: 650}}
+	for i := 0; i < 3000; i++ {
+		hub := hubs[rng.Intn(len(hubs))]
+		loc := coskq.Point{X: hub.X + rng.NormFloat64()*30, Y: hub.Y + rng.NormFloat64()*30}
+		k := 1 + rng.Intn(3)
+		own := make([]string, k)
+		for j := range own {
+			own[j] = skills[rng.Intn(len(skills))]
+		}
+		b.Add(loc, own...)
+	}
+	ds := b.Build()
+	eng := coskq.NewEngine(ds, 0)
+
+	manager := coskq.Point{X: 420, Y: 680} // near the third hub
+	need := []string{"backend", "databases", "ml", "security", "legal"}
+	q := coskq.Query{Loc: manager, Keywords: coskq.Keywords(eng, need...)}
+
+	fmt.Printf("Manager at %v needs skills %v\n\n", manager, need)
+
+	exact, err := eng.Solve(q, coskq.Dia, coskq.OwnerExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Dia-Exact consortium (diameter %.1f):\n", exact.Cost)
+	printTeam(ds, manager, exact.Set)
+
+	// The √3-approximation answers large instances fast with near-optimal
+	// diameter.
+	appro, err := eng.Solve(q, coskq.Dia, coskq.OwnerAppro)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nDia-Appro consortium (diameter %.1f, ratio %.3f ≤ √3):\n",
+		appro.Cost, appro.Cost/exact.Cost)
+	printTeam(ds, manager, appro.Set)
+
+	// Contrast with MaxSum: it additionally charges the manager's travel,
+	// pulling the team toward the manager even if slightly less compact.
+	ms, err := eng.Solve(q, coskq.MaxSum, coskq.OwnerExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMaxSum-Exact consortium (cost %.1f) — travel-weighted alternative:\n", ms.Cost)
+	printTeam(ds, manager, ms.Set)
+}
+
+func printTeam(ds *coskq.Dataset, manager coskq.Point, team []coskq.ObjectID) {
+	for _, id := range team {
+		o := ds.Object(id)
+		fmt.Printf("  partner #%-5d at %-22v %5.1f away   skills %s\n",
+			o.ID, o.Loc, manager.Dist(o.Loc), o.Keywords.Format(ds.Vocab))
+	}
+}

@@ -1,0 +1,84 @@
+// Roadtrip demonstrates the road-network CoSKQ extension (the paper's
+// future-work direction): the same collective query — find POIs that
+// together cover all needs, compactly — but with every distance measured
+// along a road network instead of straight lines. The program compares
+// the network-optimal answer against the Euclidean answer for the same
+// scene and shows where they diverge (e.g. a POI across a long detour).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"coskq"
+	"coskq/roadnet"
+)
+
+var needs = []string{"fuel", "food", "camping"}
+
+func main() {
+	rng := rand.New(rand.NewSource(12))
+
+	// A 25×25 road grid (~100m blocks) with a few diagonal shortcuts.
+	g := roadnet.GenerateGrid(25, 25, 100, 0.25, 30, 7)
+	fmt.Printf("road network: %d junctions, %d road segments\n", g.NumNodes(), g.NumEdges())
+
+	// 400 POIs on random junctions; keywords from a small amenity set.
+	amenities := []string{"fuel", "food", "camping", "atm", "pharmacy", "motel"}
+	var netObjs []roadnet.Object
+	b := coskq.NewBuilder("pois") // parallel Euclidean dataset for comparison
+	for i := 0; i < 400; i++ {
+		node := roadnet.NodeID(rng.Intn(g.NumNodes()))
+		k := 1 + rng.Intn(2)
+		words := make([]string, k)
+		for j := range words {
+			words[j] = amenities[rng.Intn(len(amenities))]
+		}
+		b.Add(g.Point(node), words...)
+		netObjs = append(netObjs, roadnet.Object{Node: node})
+	}
+	ds := b.Build()
+	// Fill in the interned keyword sets now that the dataset is final
+	// (object i of the dataset is netObjs[i]).
+	for i := range netObjs {
+		netObjs[i].Keywords = ds.Object(coskq.ObjectID(i)).Keywords
+	}
+
+	netEng, err := roadnet.NewEngine(g, netObjs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eucEng := coskq.NewEngine(ds, 0)
+
+	startNode := roadnet.NodeID(12*25 + 12) // mid-grid junction
+	needKws := coskq.Keywords(eucEng, needs...)
+
+	netRes, err := netEng.Exact(roadnet.Query{Node: startNode, Keywords: needKws}, coskq.MaxSum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnetwork-optimal stop set (MaxSum over road distance = %.0f m):\n", netRes.Cost)
+	for _, idx := range netRes.Objects {
+		o := netObjs[idx]
+		fmt.Printf("  junction %-5d %s\n", o.Node, o.Keywords.Format(ds.Vocab))
+	}
+
+	eucRes, err := eucEng.Solve(coskq.Query{Loc: g.Point(startNode), Keywords: needKws},
+		coskq.MaxSum, coskq.OwnerExact)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nEuclidean-optimal stop set (MaxSum over straight lines = %.0f m):\n", eucRes.Cost)
+	for _, id := range eucRes.Set {
+		o := ds.Object(id)
+		fmt.Printf("  POI #%-5d at %v  %s\n", o.ID, o.Loc, o.Keywords.Format(ds.Vocab))
+	}
+
+	appro, err := netEng.Appro(roadnet.Query{Node: startNode, Keywords: needKws}, coskq.MaxSum)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nnetwork approximation: %.0f m (ratio %.3f, proven ≤ 2 on networks)\n",
+		appro.Cost, appro.Cost/netRes.Cost)
+}

@@ -1,0 +1,3 @@
+module coskq
+
+go 1.22

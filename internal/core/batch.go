@@ -1,0 +1,52 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// BatchItem is the outcome of one query in a batch execution.
+type BatchItem struct {
+	Result Result
+	Err    error
+}
+
+// SolveBatch answers queries concurrently with the given cost function and
+// algorithm, using workers goroutines (≤ 0 means GOMAXPROCS). The result
+// slice is index-aligned with queries; per-query failures (e.g.
+// ErrInfeasible) are reported in place without aborting the batch.
+//
+// The engine's indexes are read-only during queries, so concurrent
+// execution is safe; NodeBudget and Ablation must not be mutated while a
+// batch is in flight.
+func (e *Engine) SolveBatch(queries []Query, cost CostKind, method Method, workers int) []BatchItem {
+	out := make([]BatchItem, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				res, err := e.Solve(queries[i], cost, method)
+				out[i] = BatchItem{Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/kwds"
+)
+
+func TestSolveBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	e := genEngine(rng, 500, 10, 3)
+	queries := make([]Query, 40)
+	for i := range queries {
+		queries[i] = randQuery(rng, 10, 1+rng.Intn(4))
+	}
+	// Make one query infeasible on purpose.
+	queries[7].Keywords = kwds.NewSet(999)
+
+	batch := e.SolveBatch(queries, MaxSum, OwnerExact, 4)
+	if len(batch) != len(queries) {
+		t.Fatalf("batch length %d", len(batch))
+	}
+	for i, q := range queries {
+		seq, seqErr := e.Solve(q, MaxSum, OwnerExact)
+		if (batch[i].Err == nil) != (seqErr == nil) {
+			t.Fatalf("query %d: batch err %v vs sequential %v", i, batch[i].Err, seqErr)
+		}
+		if seqErr != nil {
+			continue
+		}
+		if math.Abs(batch[i].Result.Cost-seq.Cost) > 1e-12 {
+			t.Fatalf("query %d: batch cost %v vs sequential %v", i, batch[i].Result.Cost, seq.Cost)
+		}
+	}
+	if batch[7].Err != ErrInfeasible {
+		t.Fatalf("query 7 should be infeasible in the batch, got %v", batch[7].Err)
+	}
+}
+
+func TestSolveBatchWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	e := genEngine(rng, 200, 8, 3)
+	queries := make([]Query, 10)
+	for i := range queries {
+		queries[i] = randQuery(rng, 8, 2)
+	}
+	ref := e.SolveBatch(queries, Dia, OwnerAppro, 1)
+	for _, workers := range []int{0, 2, 16, -3} {
+		got := e.SolveBatch(queries, Dia, OwnerAppro, workers)
+		for i := range got {
+			if (got[i].Err == nil) != (ref[i].Err == nil) {
+				t.Fatalf("workers=%d query %d error mismatch", workers, i)
+			}
+			if got[i].Err == nil && got[i].Result.Cost != ref[i].Result.Cost {
+				t.Fatalf("workers=%d query %d cost mismatch", workers, i)
+			}
+		}
+	}
+}
+
+func TestSolveBatchEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	e := genEngine(rng, 50, 5, 2)
+	if got := e.SolveBatch(nil, MaxSum, OwnerExact, 4); len(got) != 0 {
+		t.Fatal("empty batch should return empty slice")
+	}
+}

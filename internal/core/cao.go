@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"coskq/internal/dataset"
+	"coskq/internal/kwds"
+)
+
+// caoAppro1 is Cao et al.'s first approximation: return the nearest
+// neighbor set N(q). For MaxSum its ratio is 3 (each member is within d_f
+// of q, so the pairwise component is at most 2·d_f while any feasible set
+// costs at least d_f).
+func (e *Engine) caoAppro1(q Query, cost CostKind) (Result, error) {
+	start := time.Now()
+	seed, c, _, err := e.nnSeed(q, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Set:   canonical(seed),
+		Cost:  c,
+		Cost2: cost,
+		Stats: Stats{Elapsed: time.Since(start), SetsEvaluated: 1},
+	}, nil
+}
+
+// caoAppro2 is Cao et al.'s iterative approximation (ratio 2 for MaxSum):
+// let t_f be the query keyword whose nearest neighbor is farthest (the
+// keyword forcing d_f). Every feasible set contains an object with t_f, so
+// the algorithm tries each object o containing t_f in ascending distance
+// (stopping at the best-known cost) and builds the set
+// {o} ∪ { NN(o, t) : t ∈ q.ψ uncovered by o }.
+func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+	seed, curCost, _, err := e.nnSeed(q, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet := canonical(seed)
+	stats := Stats{SetsEvaluated: 1}
+
+	tf := e.farthestNNKeyword(q)
+	it := e.Tree.NewKeywordNNIterator(q.Loc, tf)
+	for {
+		o, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d >= curCost {
+			break // o ∈ S implies cost(S) ≥ d(o, q) under MaxSum and Dia
+		}
+		stats.OwnersTried++
+		set, ok := e.nnAroundObject(qi, o)
+		if !ok {
+			continue
+		}
+		stats.SetsEvaluated++
+		if c := e.EvalCost(cost, q.Loc, set); c < curCost {
+			curSet, curCost = canonical(set), c
+		}
+	}
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil
+}
+
+// farthestNNKeyword returns the query keyword whose nearest neighbor from
+// q is the farthest — the keyword that pins d_f. The query must be
+// feasible (checked by the callers via nnSeed).
+func (e *Engine) farthestNNKeyword(q Query) kwds.ID {
+	best, bestD := q.Keywords[0], math.Inf(-1)
+	for _, kw := range q.Keywords {
+		if _, d, ok := e.Tree.NN(q.Loc, kw); ok && d > bestD {
+			best, bestD = kw, d
+		}
+	}
+	return best
+}
+
+// nnAroundObject builds {o} ∪ { NN(o, t) : t uncovered by o }; ok is false
+// when some keyword has no object at all.
+func (e *Engine) nnAroundObject(qi *kwds.QueryIndex, o *dataset.Object) ([]dataset.ObjectID, bool) {
+	set := []dataset.ObjectID{o.ID}
+	covered := qi.MaskOf(o.Keywords)
+	for i, kw := range qi.Keywords() {
+		if covered&(1<<uint(i)) != 0 {
+			continue
+		}
+		id, _, ok := e.Tree.NN(o.Loc, kw)
+		if !ok {
+			return nil, false
+		}
+		set = append(set, id)
+	}
+	return set, true
+}
+
+// caoExact is the Cao et al. branch-and-bound exact baseline: a
+// best-known-cost-pruned exhaustive search over feasible sets, expanding
+// partial sets by the least frequent uncovered keyword's candidate objects
+// (ascending by distance from q). The search space is the disk
+// C(q, curCost) with curCost seeded by Cao-Appro2 — there is no distance
+// owner enumeration, which is exactly the structural difference the paper
+// exploits.
+func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
+	defer recoverBudget(&err)
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+
+	// Seed with the Appro2 result, as Cao et al. do.
+	seedRes, err := e.caoAppro2(q, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet, curCost := seedRes.Set, seedRes.Cost
+	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated}
+
+	// Materialize, per query keyword, the candidate objects containing it
+	// within C(q, curCost), ascending by distance.
+	type kwCand struct {
+		o    *dataset.Object
+		d    float64
+		mask kwds.Mask
+	}
+	cands := make([][]kwCand, qi.Size())
+	for b, kw := range qi.Keywords() {
+		it := e.Tree.NewKeywordNNIterator(q.Loc, kw)
+		for {
+			o, d, ok := it.Next()
+			if !ok || d >= curCost {
+				break
+			}
+			cands[b] = append(cands[b], kwCand{o: o, d: d, mask: qi.MaskOf(o.Keywords)})
+			stats.CandidatesSeen++
+		}
+	}
+
+	var (
+		chosen    []*dataset.Object
+		chosenIDs []dataset.ObjectID
+	)
+	var dfs func(covered kwds.Mask, maxD, maxPair float64)
+	dfs = func(covered kwds.Mask, maxD, maxPair float64) {
+		e.chargeNode(&stats)
+		if covered == qi.Full() {
+			stats.SetsEvaluated++
+			if c := combine(cost, maxD, maxPair); c < curCost {
+				curCost = c
+				curSet = canonical(chosenIDs)
+			}
+			return
+		}
+		// Expand by the uncovered keyword with the fewest candidates.
+		branch, branchLen := -1, math.MaxInt32
+		for b := 0; b < qi.Size(); b++ {
+			if covered&(1<<uint(b)) != 0 {
+				continue
+			}
+			if n := len(cands[b]); n < branchLen {
+				branch, branchLen = b, n
+			}
+		}
+		for _, kc := range cands[branch] {
+			if kc.mask&^covered == 0 {
+				continue
+			}
+			if kc.d >= curCost {
+				break // ascending distance: every later candidate also exceeds the bound
+			}
+			nd := math.Max(maxD, kc.d)
+			np := maxPair
+			for _, m := range chosen {
+				if d := kc.o.Loc.Dist(m.Loc); d > np {
+					np = d
+				}
+			}
+			if combine(cost, nd, np) >= curCost {
+				continue
+			}
+			chosen = append(chosen, kc.o)
+			chosenIDs = append(chosenIDs, kc.o.ID)
+			dfs(covered|kc.mask, nd, np)
+			chosen = chosen[:len(chosen)-1]
+			chosenIDs = chosenIDs[:len(chosenIDs)-1]
+		}
+	}
+	dfs(0, 0, 0)
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil
+}

@@ -1,0 +1,397 @@
+// Package core implements the paper's contribution: collective spatial
+// keyword query (CoSKQ) processing with the distance owner-driven approach
+// of Long, Wong, Wang and Fu (SIGMOD 2013).
+//
+// Given a query q = (q.λ, q.ψ) over a dataset of geo-textual objects, a
+// CoSKQ returns a feasible set S (one covering q.ψ) minimizing a cost
+// function. The package provides, for both of the paper's cost functions
+// (MaxSum and Dia):
+//
+//   - the distance owner-driven exact algorithms (MaxSum-Exact, Dia-Exact),
+//   - the distance owner-driven approximation algorithms (MaxSum-Appro with
+//     ratio 1.375, Dia-Appro with ratio √3),
+//   - the Cao et al. (SIGMOD 2011) baselines: Cao-Exact (branch and
+//     bound), Cao-Appro1 (the nearest neighbor set, ratio 3) and
+//     Cao-Appro2 (iterative owner improvement, ratio 2), plus their Dia
+//     adaptations,
+//   - a brute-force oracle for testing,
+//
+// and, as extensions, the Sum cost of Cao et al. with a greedy weighted
+// set cover approximation and an exact search.
+//
+// Following the CoSKQ literature, answer sets consist of relevant objects
+// only — objects sharing at least one keyword with the query. (For the
+// MinMax extension cost this matters: a nearby object contributing no new
+// keyword can still lower the cost, and such "anchor" members are
+// considered as long as they are relevant.)
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/invindex"
+	"coskq/internal/irtree"
+	"coskq/internal/kwds"
+)
+
+// Query is a collective spatial keyword query: a location and the keyword
+// set to cover.
+type Query struct {
+	Loc      geo.Point
+	Keywords kwds.Set
+}
+
+// CostKind selects the cost function cost(S) minimized by a CoSKQ.
+type CostKind int
+
+const (
+	// MaxSum is the paper's primary cost:
+	// max_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2)
+	// (Cao et al.'s cost_MaxMax with α = 0.5, rescaled by 2).
+	MaxSum CostKind = iota
+	// Dia is the paper's new cost (a.k.a. cost_MaxMax2): the larger of the
+	// two MaxSum components — the diameter of S ∪ {q} under the two owner
+	// distances.
+	Dia
+	// Sum is Cao et al.'s cost_Sum: Σ_{o∈S} d(o,q). Extension scope.
+	Sum
+	// MinMax is Cao et al.'s cost_MinMax with α = 0.5, rescaled:
+	// min_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2). Extension scope.
+	MinMax
+	// SumMax is Cao et al.'s cost_SumMax with α = 0.5, rescaled:
+	// Σ_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2). Cao et al. left its
+	// algorithms as future work; solved here with the owner-driven
+	// skeleton. Extension scope.
+	SumMax
+)
+
+// String implements fmt.Stringer.
+func (c CostKind) String() string {
+	switch c {
+	case MaxSum:
+		return "MaxSum"
+	case Dia:
+		return "Dia"
+	case Sum:
+		return "Sum"
+	case MinMax:
+		return "MinMax"
+	case SumMax:
+		return "SumMax"
+	default:
+		return fmt.Sprintf("CostKind(%d)", int(c))
+	}
+}
+
+// Method selects the algorithm used to answer a query.
+type Method int
+
+const (
+	// OwnerExact is the paper's distance owner-driven exact algorithm
+	// (MaxSum-Exact / Dia-Exact depending on the cost).
+	OwnerExact Method = iota
+	// OwnerAppro is the paper's distance owner-driven approximation
+	// (MaxSum-Appro, ratio 1.375 / Dia-Appro, ratio √3).
+	OwnerAppro
+	// CaoExact is the Cao et al. branch-and-bound exact baseline
+	// (adapted to Dia when combined with that cost).
+	CaoExact
+	// CaoAppro1 returns the nearest neighbor set N(q) (ratio 3 for MaxSum).
+	CaoAppro1
+	// CaoAppro2 is Cao et al.'s iterative improvement (ratio 2 for MaxSum).
+	CaoAppro2
+	// Brute is the exhaustive oracle; exponential, for tests and tiny
+	// inputs only.
+	Brute
+	// GreedySum is the weighted-set-cover greedy approximation for the Sum
+	// cost (ratio H_{|q.ψ|}). Extension scope.
+	GreedySum
+	// PairsExact is the published pseudocode form of the owner-driven
+	// exact search (pairwise distance owners enumerated first). Kept as an
+	// independently-derived exact implementation; OwnerExact is usually
+	// faster.
+	PairsExact
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case OwnerExact:
+		return "OwnerExact"
+	case OwnerAppro:
+		return "OwnerAppro"
+	case CaoExact:
+		return "Cao-Exact"
+	case CaoAppro1:
+		return "Cao-Appro1"
+	case CaoAppro2:
+		return "Cao-Appro2"
+	case Brute:
+		return "Brute"
+	case GreedySum:
+		return "GreedySum"
+	case PairsExact:
+		return "PairsExact"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// ErrInfeasible is returned when some query keyword appears in no object,
+// so no feasible set exists.
+var ErrInfeasible = errors.New("coskq: query keywords cannot be covered by the dataset")
+
+// ErrUnsupported is returned for a (CostKind, Method) combination that has
+// no algorithm.
+var ErrUnsupported = errors.New("coskq: unsupported cost/method combination")
+
+// ErrBudgetExceeded is returned when an exact search expands more nodes
+// than the engine's NodeBudget allows. The paper's evaluation reports the
+// analogous condition for the Cao-Exact baseline as "did not finish"
+// (e.g. runs exceeding 10 hours); the budget makes that observable without
+// wall-clock dependence.
+var ErrBudgetExceeded = errors.New("coskq: search node budget exceeded")
+
+// budgetExceeded is the internal panic payload that unwinds a DFS when the
+// node budget runs out; Solve's entry points recover it into
+// ErrBudgetExceeded.
+type budgetExceeded struct{}
+
+// chargeNode counts one expanded search node against the budget.
+func (e *Engine) chargeNode(stats *Stats) {
+	stats.NodesExpanded++
+	if e.NodeBudget > 0 && stats.NodesExpanded > e.NodeBudget {
+		panic(budgetExceeded{})
+	}
+}
+
+// recoverBudget converts a budgetExceeded panic into ErrBudgetExceeded,
+// re-panicking on anything else. Use as:
+//
+//	defer recoverBudget(&err)
+func recoverBudget(err *error) {
+	if r := recover(); r != nil {
+		if _, ok := r.(budgetExceeded); ok {
+			*err = ErrBudgetExceeded
+			return
+		}
+		panic(r)
+	}
+}
+
+// Stats records search-effort counters for one query execution.
+type Stats struct {
+	Elapsed        time.Duration
+	OwnersTried    int // candidate distance owners processed
+	SetsEvaluated  int // feasible sets whose cost was computed
+	NodesExpanded  int // search-tree nodes expanded (exact searches)
+	CandidatesSeen int // relevant objects materialized
+}
+
+// Result is the answer to one CoSKQ execution.
+type Result struct {
+	Set   []dataset.ObjectID // the feasible set, ascending object id
+	Cost  float64
+	Cost2 CostKind // the cost function the value refers to
+	Stats Stats
+}
+
+// Engine owns the dataset and the indexes the algorithms run against.
+// Build one Engine per dataset and reuse it across queries; an Engine is
+// safe for concurrent queries once built.
+type Engine struct {
+	DS   *dataset.Dataset
+	Tree *irtree.Tree
+	Inv  *invindex.Index
+
+	// NodeBudget caps the number of search nodes an exact algorithm may
+	// expand per query; exceeding it returns ErrBudgetExceeded. Zero means
+	// unlimited. Set it before issuing queries (it is not synchronized).
+	NodeBudget int
+
+	// Ablation disables individual pruning rules of the owner-driven
+	// search for the ablation benchmarks. All-false (the zero value) is
+	// the full algorithm; disabling rules never changes answers, only
+	// search effort.
+	Ablation Ablation
+}
+
+// Ablation toggles the owner-driven search's pruning rules off, one by
+// one, to measure what each contributes (DESIGN.md experiment A1).
+type Ablation struct {
+	// NoOwnerRing drops the d(o,q) ≥ d_f owner filter: every relevant
+	// object is tried as a query distance owner.
+	NoOwnerRing bool
+	// NoIncumbentBreak drops the d(o,q) ≥ curCost early termination of
+	// the owner enumeration (owners are still skipped one by one).
+	NoIncumbentBreak bool
+	// NoPairPrune drops the combine(d(o,q), maxPair) ≥ best partial-set
+	// bound inside the cover enumeration.
+	NoPairPrune bool
+	// NoSumDominance drops the dominated-candidate filter of the Sum-cost
+	// exact search (an object is dominated when a distinct object is at
+	// most as far and covers at least its query keywords).
+	NoSumDominance bool
+}
+
+// NewEngine indexes ds with the given IR-tree fanout (0 for default).
+func NewEngine(ds *dataset.Dataset, fanout int) *Engine {
+	return &Engine{
+		DS:   ds,
+		Tree: irtree.Build(ds, fanout),
+		Inv:  invindex.Build(ds),
+	}
+}
+
+// Solve answers q with the chosen cost function and algorithm.
+func (e *Engine) Solve(q Query, cost CostKind, method Method) (Result, error) {
+	switch cost {
+	case MaxSum, Dia:
+		switch method {
+		case OwnerExact:
+			return e.ownerExact(q, cost)
+		case PairsExact:
+			return e.pairsExact(q, cost)
+		case OwnerAppro:
+			return e.ownerAppro(q, cost)
+		case CaoExact:
+			return e.caoExact(q, cost)
+		case CaoAppro1:
+			return e.caoAppro1(q, cost)
+		case CaoAppro2:
+			return e.caoAppro2(q, cost)
+		case Brute:
+			return e.bruteForce(q, cost)
+		}
+	case Sum:
+		switch method {
+		case GreedySum, OwnerAppro:
+			return e.greedySum(q)
+		case OwnerExact, CaoExact:
+			return e.sumExact(q)
+		case Brute:
+			return e.bruteForce(q, cost)
+		}
+	case MinMax:
+		switch method {
+		case OwnerExact:
+			return e.minMaxExact(q)
+		case OwnerAppro:
+			return e.minMaxAppro(q)
+		case Brute:
+			return e.bruteForce(q, cost)
+		}
+	case SumMax:
+		switch method {
+		case OwnerExact:
+			return e.sumMaxExact(q)
+		case OwnerAppro, GreedySum:
+			return e.sumMaxAppro(q)
+		case Brute:
+			return e.bruteForce(q, cost)
+		}
+	}
+	return Result{}, fmt.Errorf("%w: %v with %v", ErrUnsupported, cost, method)
+}
+
+// Feasible reports whether set covers q's keywords.
+func (e *Engine) Feasible(q Query, set []dataset.ObjectID) bool {
+	var u kwds.Set
+	for _, id := range set {
+		u = u.Union(e.DS.Object(id).Keywords)
+	}
+	return u.Covers(q.Keywords)
+}
+
+// EvalCost computes cost(S) for the given cost function. It panics on an
+// empty set (a CoSKQ answer is never empty for a non-empty query).
+func (e *Engine) EvalCost(cost CostKind, q geo.Point, set []dataset.ObjectID) float64 {
+	if len(set) == 0 {
+		panic("coskq: EvalCost on empty set")
+	}
+	maxD, minD, sumD := math.Inf(-1), math.Inf(1), 0.0
+	for _, id := range set {
+		d := q.Dist(e.DS.Object(id).Loc)
+		sumD += d
+		if d > maxD {
+			maxD = d
+		}
+		if d < minD {
+			minD = d
+		}
+	}
+	maxPair := 0.0
+	for i := 0; i < len(set); i++ {
+		pi := e.DS.Object(set[i]).Loc
+		for j := i + 1; j < len(set); j++ {
+			if d := pi.Dist(e.DS.Object(set[j]).Loc); d > maxPair {
+				maxPair = d
+			}
+		}
+	}
+	switch cost {
+	case MaxSum:
+		return maxD + maxPair
+	case Dia:
+		return math.Max(maxD, maxPair)
+	case Sum:
+		return sumD
+	case MinMax:
+		return minD + maxPair
+	case SumMax:
+		return sumD + maxPair
+	default:
+		panic(fmt.Sprintf("coskq: unknown cost kind %d", int(cost)))
+	}
+}
+
+// nnSeed computes the nearest neighbor set N(q), its cost under the given
+// cost function, and d_f = max_{o∈N(q)} d(o,q). It returns ErrInfeasible
+// when some query keyword has no object.
+func (e *Engine) nnSeed(q Query, cost CostKind) (set []dataset.ObjectID, c, df float64, err error) {
+	ids, ok := e.Tree.NNSet(q.Loc, q.Keywords)
+	if !ok {
+		return nil, 0, 0, ErrInfeasible
+	}
+	for _, id := range ids {
+		if d := q.Loc.Dist(e.DS.Object(id).Loc); d > df {
+			df = d
+		}
+	}
+	return ids, e.EvalCost(cost, q.Loc, ids), df, nil
+}
+
+// canonical returns set sorted ascending with duplicates removed, the form
+// every algorithm returns.
+func canonical(set []dataset.ObjectID) []dataset.ObjectID {
+	if len(set) == 0 {
+		return nil
+	}
+	out := append([]dataset.ObjectID(nil), set...)
+	// Insertion sort: answer sets have at most |q.ψ| + 1 members.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	dedup := out[:1]
+	for _, id := range out[1:] {
+		if id != dedup[len(dedup)-1] {
+			dedup = append(dedup, id)
+		}
+	}
+	return dedup
+}
+
+// BooleanKNN answers the classic boolean kNN spatial keyword query (the
+// single-object query family of the related literature): the k objects
+// nearest to p whose keyword sets each cover ALL of keywords, ascending
+// by distance.
+func (e *Engine) BooleanKNN(p geo.Point, keywords kwds.Set, k int) []dataset.ObjectID {
+	return e.Tree.BooleanKNN(p, keywords, k)
+}

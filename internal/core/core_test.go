@@ -1,0 +1,528 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+// genEngine builds an engine over a random dataset. Keyword ids are
+// 0..vocab-1 (words "k0".."k{vocab-1}").
+func genEngine(rng *rand.Rand, n, vocab, maxKw int) *Engine {
+	b := dataset.NewBuilder("t")
+	ids := make([]kwds.ID, vocab)
+	for i := range ids {
+		ids[i] = b.Vocab().Intern(kwName(i))
+	}
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(maxKw)
+		set := make([]kwds.ID, k)
+		for j := range set {
+			set[j] = ids[rng.Intn(vocab)]
+		}
+		b.AddIDs(geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}, kwds.NewSet(set...))
+	}
+	return NewEngine(b.Build(), 8)
+}
+
+func kwName(i int) string { return "k" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) }
+
+func randQuery(rng *rand.Rand, vocab, nkw int) Query {
+	set := make([]kwds.ID, nkw)
+	for i := range set {
+		set[i] = kwds.ID(rng.Intn(vocab))
+	}
+	return Query{
+		Loc:      geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100},
+		Keywords: kwds.NewSet(set...),
+	}
+}
+
+func TestEvalCost(t *testing.T) {
+	b := dataset.NewBuilder("c")
+	a := b.Add(geo.Point{X: 3, Y: 0}, "x") // d(q)=3
+	c := b.Add(geo.Point{X: 0, Y: 4}, "y") // d(q)=4
+	e := NewEngine(b.Build(), 0)
+	q := geo.Point{X: 0, Y: 0}
+	set := []dataset.ObjectID{a, c}
+	// maxD=4, minD=3, sum=7, maxPair=5.
+	if got := e.EvalCost(MaxSum, q, set); got != 9 {
+		t.Errorf("MaxSum = %v, want 9", got)
+	}
+	if got := e.EvalCost(Dia, q, set); got != 5 {
+		t.Errorf("Dia = %v, want 5", got)
+	}
+	if got := e.EvalCost(Sum, q, set); got != 7 {
+		t.Errorf("Sum = %v, want 7", got)
+	}
+	if got := e.EvalCost(MinMax, q, set); got != 8 {
+		t.Errorf("MinMax = %v, want 8", got)
+	}
+	if got := e.EvalCost(MaxSum, q, []dataset.ObjectID{a}); got != 3 {
+		t.Errorf("singleton MaxSum = %v, want 3 (no pairwise term)", got)
+	}
+}
+
+func TestEvalCostPanicsOnEmpty(t *testing.T) {
+	e := genEngine(rand.New(rand.NewSource(1)), 10, 5, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.EvalCost(MaxSum, geo.Point{}, nil)
+}
+
+func TestInfeasibleQuery(t *testing.T) {
+	e := genEngine(rand.New(rand.NewSource(2)), 50, 5, 2)
+	q := Query{Loc: geo.Point{X: 1, Y: 1}, Keywords: kwds.NewSet(0, 999)}
+	for _, m := range []Method{OwnerExact, OwnerAppro, CaoExact, CaoAppro1, CaoAppro2, Brute} {
+		if _, err := e.Solve(q, MaxSum, m); err != ErrInfeasible {
+			t.Errorf("%v: err = %v, want ErrInfeasible", m, err)
+		}
+	}
+}
+
+func TestUnsupportedCombination(t *testing.T) {
+	e := genEngine(rand.New(rand.NewSource(3)), 20, 5, 2)
+	q := Query{Loc: geo.Point{}, Keywords: kwds.NewSet(0)}
+	if _, err := e.Solve(q, Sum, CaoAppro1); err == nil {
+		t.Fatal("expected ErrUnsupported")
+	}
+	if _, err := e.Solve(q, MaxSum, GreedySum); err == nil {
+		t.Fatal("expected ErrUnsupported")
+	}
+}
+
+// allMethods for the MaxSum/Dia costs.
+var ownerMethods = []Method{OwnerExact, OwnerAppro, CaoExact, CaoAppro1, CaoAppro2}
+
+// TestAllResultsFeasible checks that every algorithm always returns a
+// feasible set whose reported cost matches EvalCost.
+func TestAllResultsFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := genEngine(rng, 400, 12, 3)
+	for trial := 0; trial < 40; trial++ {
+		q := randQuery(rng, 12, 1+rng.Intn(5))
+		for _, cost := range []CostKind{MaxSum, Dia} {
+			for _, m := range ownerMethods {
+				res, err := e.Solve(q, cost, m)
+				if err == ErrInfeasible {
+					continue
+				}
+				if err != nil {
+					t.Fatalf("%v/%v: %v", cost, m, err)
+				}
+				if !e.Feasible(q, res.Set) {
+					t.Fatalf("%v/%v returned infeasible set %v for query %v", cost, m, res.Set, q.Keywords)
+				}
+				if got := e.EvalCost(cost, q.Loc, res.Set); math.Abs(got-res.Cost) > 1e-9 {
+					t.Fatalf("%v/%v reported cost %v but set costs %v", cost, m, res.Cost, got)
+				}
+			}
+		}
+	}
+}
+
+// TestExactMatchesBruteForce is the central correctness property: the
+// distance owner-driven exact algorithms and the Cao branch-and-bound
+// baseline must return the brute-force optimal cost.
+func TestExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 120; trial++ {
+		e := genEngine(rng, 20+rng.Intn(50), 6+rng.Intn(5), 3)
+		q := randQuery(rng, 10, 1+rng.Intn(4))
+		for _, cost := range []CostKind{MaxSum, Dia} {
+			want, err := e.Solve(q, cost, Brute)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []Method{OwnerExact, CaoExact} {
+				got, err := e.Solve(q, cost, m)
+				if err != nil {
+					t.Fatalf("trial %d %v/%v: %v", trial, cost, m, err)
+				}
+				if math.Abs(got.Cost-want.Cost) > 1e-9 {
+					t.Fatalf("trial %d %v/%v: cost %v, optimal %v (set %v vs %v, query %v at %v)",
+						trial, cost, m, got.Cost, want.Cost, got.Set, want.Set, q.Keywords, q.Loc)
+				}
+			}
+		}
+	}
+}
+
+// TestApproximationRatios verifies the proved bounds hold against the
+// exact optimum: MaxSum-Appro ≤ 1.375, Dia-Appro ≤ √3, Cao-Appro1 ≤ 3,
+// Cao-Appro2 ≤ 2 (all for MaxSum; Dia adaptations are checked against
+// looser documented bounds).
+func TestApproximationRatios(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	bounds := map[Method]map[CostKind]float64{
+		OwnerAppro: {MaxSum: 1.375, Dia: math.Sqrt(3)},
+		CaoAppro1:  {MaxSum: 3, Dia: 3},
+		CaoAppro2:  {MaxSum: 2, Dia: 3},
+	}
+	worst := map[Method]map[CostKind]float64{
+		OwnerAppro: {}, CaoAppro1: {}, CaoAppro2: {},
+	}
+	for trial := 0; trial < 150; trial++ {
+		e := genEngine(rng, 30+rng.Intn(80), 8, 3)
+		q := randQuery(rng, 8, 1+rng.Intn(4))
+		for _, cost := range []CostKind{MaxSum, Dia} {
+			opt, err := e.Solve(q, cost, Brute)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m, bs := range bounds {
+				res, err := e.Solve(q, cost, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ratio := 1.0
+				if opt.Cost > 0 {
+					ratio = res.Cost / opt.Cost
+				} else if res.Cost > 0 {
+					t.Fatalf("optimal cost 0 but %v cost %v", m, res.Cost)
+				}
+				if ratio > worst[m][cost] {
+					if worst[m] == nil {
+						worst[m] = map[CostKind]float64{}
+					}
+					worst[m][cost] = ratio
+				}
+				if ratio > bs[cost]+1e-9 {
+					t.Fatalf("trial %d: %v on %v ratio %v exceeds bound %v (cost %v vs opt %v, query %v)",
+						trial, m, cost, ratio, bs[cost], res.Cost, opt.Cost, q.Keywords)
+				}
+			}
+		}
+	}
+	t.Logf("worst observed ratios: %v", worst)
+}
+
+// TestApproAtLeastExact: approximations can never beat the exact optimum.
+func TestApproAtLeastExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := genEngine(rng, 500, 10, 3)
+	for trial := 0; trial < 30; trial++ {
+		q := randQuery(rng, 10, 1+rng.Intn(5))
+		for _, cost := range []CostKind{MaxSum, Dia} {
+			exact, err := e.Solve(q, cost, OwnerExact)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, m := range []Method{OwnerAppro, CaoAppro1, CaoAppro2} {
+				res, err := e.Solve(q, cost, m)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Cost < exact.Cost-1e-9 {
+					t.Fatalf("%v/%v cost %v below exact %v — exact algorithm is not exact",
+						cost, m, res.Cost, exact.Cost)
+				}
+			}
+		}
+	}
+}
+
+// TestDiaAtMostMaxSum: for the same set, Dia ≤ MaxSum, so the Dia optimum
+// is at most the MaxSum optimum.
+func TestDiaAtMostMaxSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	e := genEngine(rng, 300, 10, 3)
+	for trial := 0; trial < 30; trial++ {
+		q := randQuery(rng, 10, 1+rng.Intn(4))
+		ms, err := e.Solve(q, MaxSum, OwnerExact)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		dia, err := e.Solve(q, Dia, OwnerExact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dia.Cost > ms.Cost+1e-9 {
+			t.Fatalf("Dia optimum %v exceeds MaxSum optimum %v", dia.Cost, ms.Cost)
+		}
+	}
+}
+
+// TestSingleKeywordOptimal: with one query keyword the optimum is the
+// nearest object containing it, for every cost function.
+func TestSingleKeywordOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	e := genEngine(rng, 300, 10, 3)
+	for trial := 0; trial < 20; trial++ {
+		q := randQuery(rng, 10, 1)
+		id, d, ok := e.Tree.NN(q.Loc, q.Keywords[0])
+		if !ok {
+			continue
+		}
+		for _, cost := range []CostKind{MaxSum, Dia, Sum, MinMax} {
+			res, err := e.Solve(q, cost, OwnerExact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(res.Cost-d) > 1e-9 {
+				t.Fatalf("%v: single-keyword cost %v, want NN distance %v (NN id %d)", cost, res.Cost, d, id)
+			}
+			if len(res.Set) != 1 {
+				t.Fatalf("%v: single-keyword answer has %d members", cost, len(res.Set))
+			}
+		}
+	}
+}
+
+// TestCostMonotoneUnderSuperset: adding objects never decreases the
+// max-composed costs (MaxSum, Dia) — the structural fact the owner-driven
+// minimal-cover restriction relies on.
+func TestCostMonotoneUnderSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	e := genEngine(rng, 200, 10, 3)
+	q := geo.Point{X: 50, Y: 50}
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		set := make([]dataset.ObjectID, 0, n+1)
+		for i := 0; i < n; i++ {
+			set = append(set, dataset.ObjectID(rng.Intn(e.DS.Len())))
+		}
+		super := append(append([]dataset.ObjectID(nil), set...), dataset.ObjectID(rng.Intn(e.DS.Len())))
+		for _, cost := range []CostKind{MaxSum, Dia, Sum} {
+			if e.EvalCost(cost, q, super) < e.EvalCost(cost, q, set)-1e-9 {
+				t.Fatalf("%v decreased under superset", cost)
+			}
+		}
+	}
+}
+
+// TestCanonical covers the answer normalization helper.
+func TestCanonical(t *testing.T) {
+	got := canonical([]dataset.ObjectID{5, 1, 5, 3, 1})
+	want := []dataset.ObjectID{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("canonical = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("canonical = %v, want %v", got, want)
+		}
+	}
+	if canonical(nil) != nil {
+		t.Fatal("canonical(nil) should be nil")
+	}
+}
+
+// TestStatsPopulated: executions record search effort and elapsed time.
+func TestStatsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	e := genEngine(rng, 400, 8, 3)
+	q := randQuery(rng, 8, 3)
+	res, err := e.Solve(q, MaxSum, OwnerExact)
+	if err == ErrInfeasible {
+		t.Skip("unlucky seed: infeasible")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Elapsed <= 0 {
+		t.Error("Elapsed not recorded")
+	}
+	if res.Stats.SetsEvaluated < 1 {
+		t.Error("SetsEvaluated not recorded")
+	}
+}
+
+// TestDeterministic: same query twice gives the same cost.
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	e := genEngine(rng, 300, 10, 3)
+	q := randQuery(rng, 10, 4)
+	for _, cost := range []CostKind{MaxSum, Dia} {
+		for _, m := range ownerMethods {
+			a, errA := e.Solve(q, cost, m)
+			b, errB := e.Solve(q, cost, m)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%v/%v nondeterministic error", cost, m)
+			}
+			if errA != nil {
+				continue
+			}
+			if a.Cost != b.Cost {
+				t.Fatalf("%v/%v nondeterministic cost: %v vs %v", cost, m, a.Cost, b.Cost)
+			}
+		}
+	}
+}
+
+// TestClusteredWorkload exercises the algorithms on strongly clustered
+// data, the regime where owner-driven pruning differs most from N(q).
+func TestClusteredWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	b := dataset.NewBuilder("clusters")
+	ids := make([]kwds.ID, 6)
+	for i := range ids {
+		ids[i] = b.Vocab().Intern(kwName(i))
+	}
+	// Three clusters far apart; each cluster has all keywords.
+	for c := 0; c < 3; c++ {
+		cx, cy := float64(c)*1000, float64(c)*500
+		for i := 0; i < 60; i++ {
+			k := 1 + rng.Intn(2)
+			set := make([]kwds.ID, k)
+			for j := range set {
+				set[j] = ids[rng.Intn(6)]
+			}
+			b.AddIDs(geo.Point{X: cx + rng.NormFloat64()*5, Y: cy + rng.NormFloat64()*5}, kwds.NewSet(set...))
+		}
+	}
+	e := NewEngine(b.Build(), 8)
+	q := Query{Loc: geo.Point{X: 1000, Y: 500}, Keywords: kwds.NewSet(ids[0], ids[1], ids[2], ids[3])}
+
+	opt, err := e.Solve(q, MaxSum, Brute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Solve(q, MaxSum, OwnerExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Cost-opt.Cost) > 1e-9 {
+		t.Fatalf("clustered: exact %v, optimal %v", got.Cost, opt.Cost)
+	}
+	// The answer should stay within the middle cluster: diameter component
+	// far below the inter-cluster distance.
+	if got.Cost >= 500 {
+		t.Fatalf("answer leaked across clusters: cost %v", got.Cost)
+	}
+	appro, err := e.Solve(q, MaxSum, OwnerAppro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appro.Cost > 1.375*opt.Cost+1e-9 {
+		t.Fatalf("clustered appro ratio %v", appro.Cost/opt.Cost)
+	}
+}
+
+// TestNodeBudget: a tiny budget makes exact searches fail loudly instead
+// of hanging, and does not affect approximate algorithms.
+func TestNodeBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	e := genEngine(rng, 2000, 8, 3)
+	q := randQuery(rng, 8, 5)
+	if _, err := e.Solve(q, MaxSum, OwnerExact); err == ErrInfeasible {
+		t.Skip("unlucky seed: infeasible")
+	}
+	e.NodeBudget = 1
+	for _, m := range []Method{OwnerExact, CaoExact, Brute} {
+		if _, err := e.Solve(q, MaxSum, m); err != ErrBudgetExceeded {
+			t.Errorf("%v with budget 1: err = %v, want ErrBudgetExceeded", m, err)
+		}
+	}
+	if _, err := e.Solve(q, MaxSum, OwnerAppro); err != nil {
+		t.Errorf("appro should ignore the budget: %v", err)
+	}
+	e.NodeBudget = 0
+	if _, err := e.Solve(q, MaxSum, OwnerExact); err != nil {
+		t.Errorf("unlimited budget should succeed: %v", err)
+	}
+}
+
+// TestAblationsPreserveExactness: disabling pruning rules changes search
+// effort, never answers.
+func TestAblationsPreserveExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 40; trial++ {
+		e := genEngine(rng, 30+rng.Intn(60), 8, 3)
+		q := randQuery(rng, 8, 1+rng.Intn(4))
+		want, err := e.Solve(q, MaxSum, OwnerExact)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ab := range []Ablation{
+			{NoOwnerRing: true},
+			{NoIncumbentBreak: true},
+			{NoPairPrune: true},
+			{NoOwnerRing: true, NoIncumbentBreak: true, NoPairPrune: true},
+		} {
+			e.Ablation = ab
+			got, err := e.Solve(q, MaxSum, OwnerExact)
+			if err != nil {
+				t.Fatalf("ablation %+v: %v", ab, err)
+			}
+			if math.Abs(got.Cost-want.Cost) > 1e-9 {
+				t.Fatalf("ablation %+v changed the answer: %v vs %v", ab, got.Cost, want.Cost)
+			}
+			e.Ablation = Ablation{}
+		}
+	}
+}
+
+// TestPairsExactMatchesBruteForce: the literal pair-owners-first
+// implementation is exact too.
+func TestPairsExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	for trial := 0; trial < 100; trial++ {
+		e := genEngine(rng, 20+rng.Intn(50), 6+rng.Intn(5), 3)
+		q := randQuery(rng, 10, 1+rng.Intn(4))
+		for _, cost := range []CostKind{MaxSum, Dia} {
+			want, err := e.Solve(q, cost, Brute)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Solve(q, cost, PairsExact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Cost-want.Cost) > 1e-9 {
+				t.Fatalf("trial %d %v: PairsExact %v, optimal %v (sets %v vs %v, query %v at %v)",
+					trial, cost, got.Cost, want.Cost, got.Set, want.Set, q.Keywords, q.Loc)
+			}
+		}
+	}
+}
+
+// TestPairsExactAgreesWithOwnerExact: two independently-derived exact
+// implementations must agree on larger instances where the brute-force
+// oracle cannot go.
+func TestPairsExactAgreesWithOwnerExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	e := genEngine(rng, 800, 12, 3)
+	for trial := 0; trial < 25; trial++ {
+		q := randQuery(rng, 12, 1+rng.Intn(5))
+		for _, cost := range []CostKind{MaxSum, Dia} {
+			a, errA := e.Solve(q, cost, OwnerExact)
+			b, errB := e.Solve(q, cost, PairsExact)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("%v: feasibility disagreement: %v vs %v", cost, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if math.Abs(a.Cost-b.Cost) > 1e-9 {
+				t.Fatalf("trial %d %v: OwnerExact %v vs PairsExact %v (query %v)",
+					trial, cost, a.Cost, b.Cost, q.Keywords)
+			}
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"coskq/internal/dataset"
+	"coskq/internal/kwds"
+)
+
+// combine composes the two distance components — the query distance owner
+// distance and the pairwise distance owner distance — into the cost value.
+// Both MaxSum and Dia are monotone in each component, which is what makes
+// the partial-set lower bounds of the owner-driven search valid.
+func combine(cost CostKind, ownerDist, maxPair float64) float64 {
+	if cost == Dia {
+		return math.Max(ownerDist, maxPair)
+	}
+	return ownerDist + maxPair
+}
+
+// cand is one relevant object materialized by the ascending-distance
+// iterator: the candidate pool of the owner-driven search.
+type cand struct {
+	o    *dataset.Object
+	d    float64   // d(o, q)
+	mask kwds.Mask // query keywords covered by o
+}
+
+// ownerExact is the distance owner-driven exact algorithm of the paper
+// (MaxSum-Exact for cost == MaxSum, Dia-Exact for cost == Dia).
+//
+// It enumerates candidate query distance owners o_f — relevant objects in
+// the ring d(o_f, q) ∈ [d_f, curCost) in ascending distance — and, for
+// each, finds the cheapest feasible set having o_f as its query distance
+// owner. All other members of such a set lie in the disk C(q, d(o_f, q)),
+// which is exactly the pool of objects the iterator has already produced;
+// the inner search is a keyword-ordered cover enumeration whose partial
+// sets are pruned with the owner lower bound
+// combine(d(o_f,q), maxPair(partial)) ≥ curCost — the same geometric facts
+// the paper's pairwise distance owner / lens pruning exploits.
+func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
+	defer recoverBudget(&err)
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+	seed, curCost, df, err := e.nnSeed(q, cost)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet := canonical(seed)
+	stats := Stats{SetsEvaluated: 1}
+
+	// pool holds every relevant object popped so far, ascending by d(·,q);
+	// bitCands[b] indexes the pool entries covering query keyword bit b.
+	var pool []cand
+	bitCands := make([][]int32, qi.Size())
+
+	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
+	if !e.Ablation.NoIncumbentBreak {
+		it.Limit(curCost)
+	}
+	for {
+		o, dof, ok := it.Next()
+		if !ok {
+			break
+		}
+		if dof >= curCost {
+			// cost(S) ≥ d(owner, q) for any S containing an object this
+			// far, so the enumeration can stop (ablation A1 measures what
+			// this break is worth by degrading it to a per-owner skip).
+			if !e.Ablation.NoIncumbentBreak {
+				break
+			}
+			stats.CandidatesSeen++
+			continue
+		}
+		mask := qi.MaskOf(o.Keywords)
+		idx := int32(len(pool))
+		pool = append(pool, cand{o: o, d: dof, mask: mask})
+		for b := 0; b < qi.Size(); b++ {
+			if mask&(1<<uint(b)) != 0 {
+				bitCands[b] = append(bitCands[b], idx)
+			}
+		}
+		stats.CandidatesSeen++
+
+		if dof < df && !e.Ablation.NoOwnerRing {
+			// No feasible set has its query distance owner closer than the
+			// farthest keyword NN; o still enters the pool as a potential
+			// non-owner member.
+			continue
+		}
+		stats.OwnersTried++
+		set, c := e.bestWithOwner(qi, cost, pool, bitCands, int(idx), curCost, &stats)
+		if set != nil && c < curCost {
+			curSet, curCost = canonical(set), c
+			if !e.Ablation.NoIncumbentBreak {
+				it.Limit(curCost)
+			}
+		}
+	}
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil
+}
+
+// bestWithOwner finds the cheapest feasible set whose query distance owner
+// is pool[ownerIdx], restricted to cost < bound, or (nil, 0) when none
+// exists. Every candidate member is a pool entry (d ≤ owner distance), and
+// every non-owner member of a minimal set must cover a keyword the owner
+// lacks, so the search runs over bitCands of the owner's uncovered bits.
+func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, bitCands [][]int32, ownerIdx int, bound float64, stats *Stats) ([]dataset.ObjectID, float64) {
+	owner := pool[ownerIdx]
+	dof := owner.d
+	need := qi.Full() &^ owner.mask
+
+	if need == 0 {
+		c := combine(cost, dof, 0)
+		stats.SetsEvaluated++
+		if c < bound {
+			return []dataset.ObjectID{owner.o.ID}, c
+		}
+		return nil, 0
+	}
+	if combine(cost, dof, 0) >= bound {
+		return nil, 0
+	}
+
+	var (
+		bestSet  []dataset.ObjectID
+		bestCost = bound
+		chosen   = make([]int32, 0, qi.Size())
+	)
+
+	var dfs func(covered kwds.Mask, maxPair float64)
+	dfs = func(covered kwds.Mask, maxPair float64) {
+		e.chargeNode(stats)
+		if covered == qi.Full() {
+			c := combine(cost, dof, maxPair)
+			stats.SetsEvaluated++
+			if c < bestCost {
+				bestCost = c
+				bestSet = bestSet[:0]
+				bestSet = append(bestSet, owner.o.ID)
+				for _, ci := range chosen {
+					bestSet = append(bestSet, pool[ci].o.ID)
+				}
+			}
+			return
+		}
+		// Branch on the uncovered keyword with the fewest candidates.
+		branchBit, branchLen := -1, math.MaxInt32
+		for b := 0; b < qi.Size(); b++ {
+			if covered&(1<<uint(b)) != 0 {
+				continue
+			}
+			if n := len(bitCands[b]); n < branchLen {
+				branchBit, branchLen = b, n
+			}
+		}
+		for _, ci := range bitCands[branchBit] {
+			c := pool[ci]
+			if c.mask&^covered == 0 {
+				continue // contributes nothing new
+			}
+			// Incremental pairwise distance owner bound.
+			np := maxPair
+			if d := c.o.Loc.Dist(owner.o.Loc); d > np {
+				np = d
+			}
+			for _, pi := range chosen {
+				if d := c.o.Loc.Dist(pool[pi].o.Loc); d > np {
+					np = d
+				}
+			}
+			if combine(cost, dof, np) >= bestCost && !e.Ablation.NoPairPrune {
+				continue
+			}
+			chosen = append(chosen, ci)
+			dfs(covered|c.mask, np)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	dfs(owner.mask, 0)
+
+	if bestSet == nil {
+		return nil, 0
+	}
+	return bestSet, bestCost
+}

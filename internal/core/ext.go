@@ -1,0 +1,398 @@
+package core
+
+// This file holds the extension cost functions beyond the paper's core
+// scope: Cao et al.'s Sum cost (greedy weighted set cover approximation
+// with ratio H_{|q.ψ|}, plus a pruned exact search) and the MinMax cost
+// (min owner distance + pairwise distance owner), solved with the same
+// distance owner-driven skeleton as MaxSum/Dia but with the owner being
+// the member *nearest* to the query.
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+// sumCandidates materializes the relevant objects that can participate in
+// a Sum-cost solution cheaper than bound: each member contributes its own
+// distance to the sum, so members farther than bound are useless.
+func (e *Engine) sumCandidates(q Query, qi *kwds.QueryIndex, bound float64) []cand {
+	var out []cand
+	e.Tree.RelevantInDisk(geo.Circle{C: q.Loc, R: bound}, qi, func(o *dataset.Object, m kwds.Mask) bool {
+		out = append(out, cand{o: o, d: q.Loc.Dist(o.Loc), mask: m})
+		return true
+	})
+	return out
+}
+
+// dominanceFilter drops Sum-dominated candidates: o is dominated when a
+// distinct object o' has d(o',q) ≤ d(o,q) and covers a superset of o's
+// query keywords (ties broken toward the smaller object id so exactly one
+// of identical twins survives). Some optimal Sum solution uses only
+// surviving candidates — replacing a dominated member by its dominator
+// keeps coverage and never increases the sum — so the filter preserves
+// exactness (cf. the dominance pruning of the follow-up literature).
+// It applies to the Sum cost only: pairwise-distance costs depend on
+// member positions, not just their query distances.
+func dominanceFilter(cands []cand) []cand {
+	sorted := append([]cand(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].d != sorted[j].d {
+			return sorted[i].d < sorted[j].d
+		}
+		return sorted[i].o.ID < sorted[j].o.ID
+	})
+	// maximal holds an antichain of coverage masks seen so far (all from
+	// candidates at most as far as the current one).
+	var maximal []kwds.Mask
+	out := sorted[:0]
+	for _, c := range sorted {
+		dominated := false
+		for _, m := range maximal {
+			if c.mask&^m == 0 {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		out = append(out, c)
+		// Maintain the antichain: drop masks subsumed by the new one.
+		kept := maximal[:0]
+		for _, m := range maximal {
+			if m&^c.mask != 0 {
+				kept = append(kept, m)
+			}
+		}
+		maximal = append(kept, c.mask)
+	}
+	return out
+}
+
+// greedySum is the classic weighted set cover greedy adapted to CoSKQ with
+// the Sum cost: repeatedly pick the object minimizing
+// d(o, q) / |newly covered keywords|. Approximation ratio H_{|q.ψ|}.
+func (e *Engine) greedySum(q Query) (Result, error) {
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+	seed, seedCost, _, err := e.nnSeed(q, Sum)
+	if err != nil {
+		return Result{}, err
+	}
+	stats := Stats{SetsEvaluated: 1}
+
+	cands := e.sumCandidates(q, qi, seedCost)
+	stats.CandidatesSeen = len(cands)
+
+	var (
+		covered kwds.Mask
+		set     []dataset.ObjectID
+	)
+	for covered != qi.Full() {
+		bestIdx, bestRatio := -1, math.Inf(1)
+		for i, c := range cands {
+			n := (c.mask &^ covered).Count()
+			if n == 0 {
+				continue
+			}
+			if r := c.d / float64(n); r < bestRatio {
+				bestIdx, bestRatio = i, r
+			}
+		}
+		if bestIdx < 0 {
+			// Cannot happen for a feasible query: N(q)'s members are all
+			// inside the seed disk.
+			break
+		}
+		covered |= cands[bestIdx].mask
+		set = append(set, cands[bestIdx].o.ID)
+	}
+
+	res := canonical(set)
+	c := e.EvalCost(Sum, q.Loc, res)
+	stats.SetsEvaluated++
+	// The greedy can lose to the plain NN set; return the better.
+	if seedCost < c {
+		res, c = canonical(seed), seedCost
+	}
+	stats.Elapsed = time.Since(start)
+	return Result{Set: res, Cost: c, Cost2: Sum, Stats: stats}, nil
+}
+
+// sumExact finds the optimal Sum-cost set with a pruned cover enumeration:
+// partial sets are bounded below by their current sum plus the cheapest
+// possible completion (for each uncovered keyword, the nearest object
+// containing it — keywords can share objects, so the max of those minima
+// is a valid bound).
+func (e *Engine) sumExact(q Query) (res Result, err error) {
+	defer recoverBudget(&err)
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+
+	seedRes, err := e.greedySum(q)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet, curCost := seedRes.Set, seedRes.Cost
+	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated}
+
+	cands := e.sumCandidates(q, qi, curCost)
+	if !e.Ablation.NoSumDominance {
+		cands = dominanceFilter(cands)
+	}
+	stats.CandidatesSeen = len(cands)
+
+	// minDistFor[b]: distance of the nearest candidate covering bit b.
+	minDistFor := make([]float64, qi.Size())
+	bitCands := make([][]int, qi.Size())
+	for b := range minDistFor {
+		minDistFor[b] = math.Inf(1)
+	}
+	for i, c := range cands {
+		for b := 0; b < qi.Size(); b++ {
+			if c.mask&(1<<uint(b)) != 0 {
+				bitCands[b] = append(bitCands[b], i)
+				if c.d < minDistFor[b] {
+					minDistFor[b] = c.d
+				}
+			}
+		}
+	}
+
+	completion := func(covered kwds.Mask) float64 {
+		lb := 0.0
+		for b := 0; b < qi.Size(); b++ {
+			if covered&(1<<uint(b)) == 0 && minDistFor[b] > lb {
+				lb = minDistFor[b]
+			}
+		}
+		return lb
+	}
+
+	var chosen []dataset.ObjectID
+	var dfs func(covered kwds.Mask, sum float64)
+	dfs = func(covered kwds.Mask, sum float64) {
+		e.chargeNode(&stats)
+		if covered == qi.Full() {
+			stats.SetsEvaluated++
+			if sum < curCost {
+				curCost = sum
+				curSet = canonical(chosen)
+			}
+			return
+		}
+		if sum+completion(covered) >= curCost {
+			return
+		}
+		branch, branchLen := -1, math.MaxInt32
+		for b := 0; b < qi.Size(); b++ {
+			if covered&(1<<uint(b)) != 0 {
+				continue
+			}
+			if n := len(bitCands[b]); n < branchLen {
+				branch, branchLen = b, n
+			}
+		}
+		for _, i := range bitCands[branch] {
+			c := cands[i]
+			if c.mask&^covered == 0 || sum+c.d >= curCost {
+				continue
+			}
+			chosen = append(chosen, c.o.ID)
+			dfs(covered|c.mask, sum+c.d)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	dfs(0, 0)
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: Sum, Stats: stats}, nil
+}
+
+// minMaxExact solves the MinMax cost (min owner distance + pairwise
+// distance owner) with the owner-driven skeleton, the owner now being the
+// member nearest to the query. All other members of a set owned by o lie
+// within C(o, curCost − d(o,q)) (the pairwise component is at least their
+// distance from o) and at query distance ≥ d(o,q).
+func (e *Engine) minMaxExact(q Query) (res Result, err error) {
+	defer recoverBudget(&err)
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+	seed, curCost, _, err := e.nnSeed(q, MinMax)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet := canonical(seed)
+	stats := Stats{SetsEvaluated: 1}
+
+	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
+	it.Limit(curCost)
+	for {
+		o, do, ok := it.Next()
+		if !ok {
+			break
+		}
+		if do >= curCost {
+			break // cost ≥ d(nearest member, q)
+		}
+		stats.OwnersTried++
+
+		// Candidates: relevant objects within C(o, curCost − d(o,q)) whose
+		// query distance is at least d(o,q) (o must stay the nearest).
+		ownerMask := qi.MaskOf(o.Keywords)
+		var pool []cand
+		bitCands := make([][]int32, qi.Size())
+		e.Tree.RelevantInDisk(geo.Circle{C: o.Loc, R: curCost - do}, qi, func(x *dataset.Object, m kwds.Mask) bool {
+			if x.ID == o.ID || q.Loc.Dist(x.Loc) < do {
+				return true
+			}
+			if m&^ownerMask == 0 {
+				return true
+			}
+			idx := int32(len(pool))
+			pool = append(pool, cand{o: x, d: q.Loc.Dist(x.Loc), mask: m})
+			for b := 0; b < qi.Size(); b++ {
+				if m&(1<<uint(b)) != 0 {
+					bitCands[b] = append(bitCands[b], idx)
+				}
+			}
+			return true
+		})
+		stats.CandidatesSeen += len(pool)
+
+		set, c := e.minMaxBestWithOwner(qi, o, do, ownerMask, pool, bitCands, curCost, &stats)
+		if set != nil && c < curCost {
+			curSet, curCost = canonical(set), c
+			it.Limit(curCost)
+		}
+	}
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: MinMax, Stats: stats}, nil
+}
+
+// minMaxBestWithOwner enumerates minimal covers of the owner's uncovered
+// keywords over pool with cost lower bound d(o,q) + maxPair(partial).
+func (e *Engine) minMaxBestWithOwner(qi *kwds.QueryIndex, owner *dataset.Object, do float64, ownerMask kwds.Mask, pool []cand, bitCands [][]int32, bound float64, stats *Stats) ([]dataset.ObjectID, float64) {
+	need := qi.Full() &^ ownerMask
+	if need == 0 {
+		stats.SetsEvaluated++
+		if do < bound {
+			return []dataset.ObjectID{owner.ID}, do
+		}
+		return nil, 0
+	}
+
+	var (
+		bestSet  []dataset.ObjectID
+		bestCost = bound
+		chosen   = make([]int32, 0, qi.Size())
+	)
+	var dfs func(covered kwds.Mask, maxPair float64)
+	dfs = func(covered kwds.Mask, maxPair float64) {
+		e.chargeNode(stats)
+		if covered == qi.Full() {
+			stats.SetsEvaluated++
+			if c := do + maxPair; c < bestCost {
+				bestCost = c
+				bestSet = bestSet[:0]
+				bestSet = append(bestSet, owner.ID)
+				for _, ci := range chosen {
+					bestSet = append(bestSet, pool[ci].o.ID)
+				}
+			}
+			return
+		}
+		branch, branchLen := -1, math.MaxInt32
+		for b := 0; b < qi.Size(); b++ {
+			if covered&(1<<uint(b)) != 0 {
+				continue
+			}
+			if n := len(bitCands[b]); n < branchLen {
+				branch, branchLen = b, n
+			}
+		}
+		for _, ci := range bitCands[branch] {
+			c := pool[ci]
+			if c.mask&^covered == 0 {
+				continue
+			}
+			np := maxPair
+			if d := c.o.Loc.Dist(owner.Loc); d > np {
+				np = d
+			}
+			for _, pi := range chosen {
+				if d := c.o.Loc.Dist(pool[pi].o.Loc); d > np {
+					np = d
+				}
+			}
+			if do+np >= bestCost {
+				continue
+			}
+			chosen = append(chosen, ci)
+			dfs(covered|c.mask, np)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	dfs(ownerMask, 0)
+
+	if bestSet == nil {
+		return nil, 0
+	}
+	return bestSet, bestCost
+}
+
+// minMaxAppro approximates the MinMax cost with ratio 2: for each
+// candidate nearest-member owner o (ascending query distance, bounded by
+// the best-known cost), cover the remaining keywords with the objects
+// nearest to o and keep the cheapest resulting set.
+func (e *Engine) minMaxAppro(q Query) (Result, error) {
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+	seed, curCost, _, err := e.nnSeed(q, MinMax)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet := canonical(seed)
+	stats := Stats{SetsEvaluated: 1}
+
+	noDisk := geo.Circle{R: -1}
+	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
+	for {
+		o, do, ok := it.Next()
+		if !ok {
+			break
+		}
+		if do >= curCost {
+			break
+		}
+		stats.OwnersTried++
+		covered := qi.MaskOf(o.Keywords)
+		set := []dataset.ObjectID{o.ID}
+		feasible := true
+		for covered != qi.Full() {
+			next, _, ok := e.Tree.NNCoveringInDisk(o.Loc, qi, qi.Full()&^covered, noDisk)
+			if !ok {
+				feasible = false
+				break
+			}
+			covered |= qi.MaskOf(next.Keywords)
+			set = append(set, next.ID)
+		}
+		if !feasible {
+			continue
+		}
+		stats.SetsEvaluated++
+		if c := e.EvalCost(MinMax, q.Loc, set); c < curCost {
+			curSet, curCost = canonical(set), c
+		}
+	}
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: MinMax, Stats: stats}, nil
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+// TestSumExactMatchesBruteForce: the pruned Sum search equals the oracle.
+func TestSumExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 80; trial++ {
+		e := genEngine(rng, 20+rng.Intn(40), 6+rng.Intn(4), 3)
+		q := randQuery(rng, 9, 1+rng.Intn(4))
+		want, err := e.Solve(q, Sum, Brute)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Solve(q, Sum, OwnerExact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d: Sum exact %v, optimal %v (sets %v vs %v)",
+				trial, got.Cost, want.Cost, got.Set, want.Set)
+		}
+	}
+}
+
+// TestGreedySumRatio: the greedy is within H_{|q.ψ|} of optimal and never
+// below it.
+func TestGreedySumRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		e := genEngine(rng, 20+rng.Intn(60), 8, 3)
+		nkw := 1 + rng.Intn(4)
+		q := randQuery(rng, 8, nkw)
+		opt, err := e.Solve(q, Sum, Brute)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Solve(q, Sum, GreedySum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Feasible(q, res.Set) {
+			t.Fatal("greedy returned infeasible set")
+		}
+		if res.Cost < opt.Cost-1e-9 {
+			t.Fatalf("greedy %v below optimum %v", res.Cost, opt.Cost)
+		}
+		h := 0.0
+		for i := 1; i <= q.Keywords.Len(); i++ {
+			h += 1 / float64(i)
+		}
+		if opt.Cost > 0 && res.Cost/opt.Cost > h+1e-9 {
+			t.Fatalf("trial %d: greedy ratio %v exceeds H_%d = %v",
+				trial, res.Cost/opt.Cost, q.Keywords.Len(), h)
+		}
+	}
+}
+
+// TestMinMaxExactMatchesBruteForce.
+func TestMinMaxExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 80; trial++ {
+		e := genEngine(rng, 20+rng.Intn(40), 6+rng.Intn(4), 3)
+		q := randQuery(rng, 9, 1+rng.Intn(4))
+		want, err := e.Solve(q, MinMax, Brute)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Solve(q, MinMax, OwnerExact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d: MinMax exact %v, optimal %v (sets %v vs %v, query %v at %v)",
+				trial, got.Cost, want.Cost, got.Set, want.Set, q.Keywords, q.Loc)
+		}
+	}
+}
+
+// TestMinMaxApproRatio: ratio 2 bound and feasibility.
+func TestMinMaxApproRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		e := genEngine(rng, 20+rng.Intn(60), 8, 3)
+		q := randQuery(rng, 8, 1+rng.Intn(4))
+		opt, err := e.Solve(q, MinMax, Brute)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Solve(q, MinMax, OwnerAppro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Feasible(q, res.Set) {
+			t.Fatal("MinMax appro returned infeasible set")
+		}
+		if res.Cost < opt.Cost-1e-9 {
+			t.Fatalf("appro %v below optimum %v", res.Cost, opt.Cost)
+		}
+		if opt.Cost > 0 && res.Cost/opt.Cost > 2+1e-9 {
+			t.Fatalf("trial %d: MinMax appro ratio %v exceeds 2", trial, res.Cost/opt.Cost)
+		}
+	}
+}
+
+// TestExtensionFeasibility: all extension solvers return feasible sets
+// with consistent reported costs on a larger instance.
+func TestExtensionFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	e := genEngine(rng, 500, 12, 3)
+	for trial := 0; trial < 20; trial++ {
+		q := randQuery(rng, 12, 1+rng.Intn(5))
+		for _, cm := range []struct {
+			c CostKind
+			m Method
+		}{
+			{Sum, GreedySum}, {Sum, OwnerExact},
+			{MinMax, OwnerExact}, {MinMax, OwnerAppro},
+		} {
+			res, err := e.Solve(q, cm.c, cm.m)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%v/%v: %v", cm.c, cm.m, err)
+			}
+			if !e.Feasible(q, res.Set) {
+				t.Fatalf("%v/%v infeasible", cm.c, cm.m)
+			}
+			if got := e.EvalCost(cm.c, q.Loc, res.Set); math.Abs(got-res.Cost) > 1e-9 {
+				t.Fatalf("%v/%v cost mismatch: reported %v, actual %v", cm.c, cm.m, res.Cost, got)
+			}
+		}
+	}
+}
+
+// TestSumMaxExactMatchesBruteForce.
+func TestSumMaxExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 80; trial++ {
+		e := genEngine(rng, 20+rng.Intn(40), 6+rng.Intn(4), 3)
+		q := randQuery(rng, 9, 1+rng.Intn(4))
+		want, err := e.Solve(q, SumMax, Brute)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := e.Solve(q, SumMax, OwnerExact)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.Cost-want.Cost) > 1e-9 {
+			t.Fatalf("trial %d: SumMax exact %v, optimal %v (sets %v vs %v)",
+				trial, got.Cost, want.Cost, got.Set, want.Set)
+		}
+	}
+}
+
+// TestSumMaxApproRatio: the owner-driven greedy stays within H_{|q.ψ|}.
+func TestSumMaxApproRatio(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for trial := 0; trial < 80; trial++ {
+		e := genEngine(rng, 20+rng.Intn(60), 8, 3)
+		q := randQuery(rng, 8, 1+rng.Intn(4))
+		opt, err := e.Solve(q, SumMax, Brute)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.Solve(q, SumMax, OwnerAppro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Feasible(q, res.Set) {
+			t.Fatal("SumMax appro infeasible")
+		}
+		if res.Cost < opt.Cost-1e-9 {
+			t.Fatalf("appro %v below optimum %v", res.Cost, opt.Cost)
+		}
+		h := 0.0
+		for i := 1; i <= q.Keywords.Len(); i++ {
+			h += 1 / float64(i)
+		}
+		if opt.Cost > 0 && res.Cost/opt.Cost > h+1e-9 {
+			t.Fatalf("trial %d: SumMax appro ratio %v exceeds H_%d = %v",
+				trial, res.Cost/opt.Cost, q.Keywords.Len(), h)
+		}
+	}
+}
+
+// TestSumMaxMonotone: the oracle's minimal-cover restriction is valid.
+func TestSumMaxMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	e := genEngine(rng, 200, 10, 3)
+	q := geo.Point{X: 50, Y: 50}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		set := make([]dataset.ObjectID, 0, n+1)
+		for i := 0; i < n; i++ {
+			set = append(set, dataset.ObjectID(rng.Intn(e.DS.Len())))
+		}
+		super := append(append([]dataset.ObjectID(nil), set...), dataset.ObjectID(rng.Intn(e.DS.Len())))
+		if e.EvalCost(SumMax, q, super) < e.EvalCost(SumMax, q, set)-1e-9 {
+			t.Fatal("SumMax decreased under superset")
+		}
+	}
+}
+
+// TestDominanceFilter: survivors are pairwise non-dominated, dominated
+// candidates have a surviving dominator, and Sum exactness is preserved
+// with the filter on and off.
+func TestDominanceFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 50; trial++ {
+		e := genEngine(rng, 20+rng.Intn(60), 7, 3)
+		q := randQuery(rng, 9, 1+rng.Intn(4))
+		want, err := e.Solve(q, Sum, Brute)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ab := range []Ablation{{}, {NoSumDominance: true}} {
+			e.Ablation = ab
+			got, err := e.Solve(q, Sum, OwnerExact)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Cost-want.Cost) > 1e-9 {
+				t.Fatalf("ablation %+v: Sum exact %v, optimal %v", ab, got.Cost, want.Cost)
+			}
+		}
+		e.Ablation = Ablation{}
+	}
+}
+
+func TestDominanceFilterStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	e := genEngine(rng, 300, 8, 3)
+	q := randQuery(rng, 8, 4)
+	qi := kwds.NewQueryIndex(q.Keywords)
+	all := e.sumCandidates(q, qi, 1e18)
+	if len(all) == 0 {
+		t.Skip("no relevant objects under this seed")
+	}
+	kept := dominanceFilter(all)
+	if len(kept) == 0 || len(kept) > len(all) {
+		t.Fatalf("filter kept %d of %d", len(kept), len(all))
+	}
+	// Survivors are pairwise non-dominated.
+	for i := range kept {
+		for j := range kept {
+			if i == j {
+				continue
+			}
+			if kept[j].d <= kept[i].d && kept[i].mask&^kept[j].mask == 0 {
+				// Allowed only via the id tie-break (equal d and mask).
+				if kept[j].d == kept[i].d && kept[j].mask == kept[i].mask {
+					continue
+				}
+				t.Fatalf("survivor %d dominated by survivor %d", i, j)
+			}
+		}
+	}
+	// Every dropped candidate has a surviving dominator.
+	keptSet := map[dataset.ObjectID]bool{}
+	for _, c := range kept {
+		keptSet[c.o.ID] = true
+	}
+	for _, c := range all {
+		if keptSet[c.o.ID] {
+			continue
+		}
+		found := false
+		for _, k := range kept {
+			if k.d <= c.d && c.mask&^k.mask == 0 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("dropped candidate %d has no surviving dominator", c.o.ID)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+// SumMax extension: cost_SumMax(S) = Σ_{o∈S} d(o,q) + max_{o1,o2∈S} d(o1,o2).
+// Cao et al. proposed this cost but left algorithms as future work; the
+// owner-driven skeleton covers it too. The cost is monotone under
+// supersets (both components only grow), so optima are minimal covers.
+//
+//   - sumMaxExact: pruned cover enumeration over the disk C(q, bound)
+//     with lower bound partialSum + maxPair(partial) + completion.
+//   - sumMaxAppro: the owner-driven approximation — for each candidate
+//     farthest member o (ascending distance in the ring [d_f, bound)),
+//     run the weighted-set-cover greedy restricted to the owner's disk;
+//     at the optimal solution's owner this yields the H_{|q.ψ|} ratio.
+
+import (
+	"math"
+	"time"
+
+	"coskq/internal/dataset"
+	"coskq/internal/kwds"
+)
+
+// sumMaxExact finds the optimal SumMax set.
+func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
+	defer recoverBudget(&err)
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+
+	seedRes, err := e.sumMaxAppro(q)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet, curCost := seedRes.Set, seedRes.Cost
+	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated}
+
+	// Each member contributes its own distance to the sum, so members of
+	// any improving set lie inside C(q, curCost).
+	cands := e.sumCandidates(q, qi, curCost)
+	stats.CandidatesSeen = len(cands)
+
+	minDistFor := make([]float64, qi.Size())
+	bitCands := make([][]int, qi.Size())
+	for b := range minDistFor {
+		minDistFor[b] = math.Inf(1)
+	}
+	for i, c := range cands {
+		for b := 0; b < qi.Size(); b++ {
+			if c.mask&(1<<uint(b)) != 0 {
+				bitCands[b] = append(bitCands[b], i)
+				if c.d < minDistFor[b] {
+					minDistFor[b] = c.d
+				}
+			}
+		}
+	}
+	completion := func(covered kwds.Mask) float64 {
+		lb := 0.0
+		for b := 0; b < qi.Size(); b++ {
+			if covered&(1<<uint(b)) == 0 && minDistFor[b] > lb {
+				lb = minDistFor[b]
+			}
+		}
+		return lb
+	}
+
+	var chosen []int
+	var dfs func(covered kwds.Mask, sum, maxPair float64)
+	dfs = func(covered kwds.Mask, sum, maxPair float64) {
+		e.chargeNode(&stats)
+		if covered == qi.Full() {
+			stats.SetsEvaluated++
+			if c := sum + maxPair; c < curCost {
+				curCost = c
+				set := make([]dataset.ObjectID, len(chosen))
+				for i, ci := range chosen {
+					set[i] = cands[ci].o.ID
+				}
+				curSet = canonical(set)
+			}
+			return
+		}
+		if sum+maxPair+completion(covered) >= curCost {
+			return
+		}
+		branch, branchLen := -1, math.MaxInt32
+		for b := 0; b < qi.Size(); b++ {
+			if covered&(1<<uint(b)) != 0 {
+				continue
+			}
+			if n := len(bitCands[b]); n < branchLen {
+				branch, branchLen = b, n
+			}
+		}
+		for _, ci := range bitCands[branch] {
+			c := cands[ci]
+			if c.mask&^covered == 0 {
+				continue
+			}
+			np := maxPair
+			for _, pi := range chosen {
+				if d := c.o.Loc.Dist(cands[pi].o.Loc); d > np {
+					np = d
+				}
+			}
+			if sum+c.d+np >= curCost {
+				continue
+			}
+			chosen = append(chosen, ci)
+			dfs(covered|c.mask, sum+c.d, np)
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	dfs(0, 0, 0)
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: SumMax, Stats: stats}, nil
+}
+
+// sumMaxAppro is the owner-driven H_{|q.ψ|}-approximation for SumMax.
+func (e *Engine) sumMaxAppro(q Query) (Result, error) {
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+	seed, curCost, df, err := e.nnSeed(q, SumMax)
+	if err != nil {
+		return Result{}, err
+	}
+	curSet := canonical(seed)
+	stats := Stats{SetsEvaluated: 1}
+
+	var pool []cand
+	set := make([]dataset.ObjectID, 0, qi.Size()+1)
+
+	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
+	it.Limit(curCost)
+	for {
+		o, dof, ok := it.Next()
+		if !ok {
+			break
+		}
+		if dof >= curCost {
+			break // cost(S) ≥ Σ d ≥ d(owner, q)
+		}
+		ownerMask := qi.MaskOf(o.Keywords)
+		pool = append(pool, cand{o: o, d: dof, mask: ownerMask})
+		stats.CandidatesSeen++
+		if dof < df {
+			continue
+		}
+		stats.OwnersTried++
+
+		// Weighted-set-cover greedy restricted to the owner's disk:
+		// repeatedly add the candidate minimizing d(c,q) / |new keywords|.
+		covered := ownerMask
+		set = append(set[:0], o.ID)
+		sum := dof
+		feasible := true
+		for covered != qi.Full() {
+			bestIdx, bestRatio := -1, math.Inf(1)
+			for i := range pool {
+				c := &pool[i]
+				n := (c.mask &^ covered).Count()
+				if n == 0 {
+					continue
+				}
+				if r := c.d / float64(n); r < bestRatio {
+					bestIdx, bestRatio = i, r
+				}
+			}
+			if bestIdx < 0 {
+				feasible = false
+				break
+			}
+			covered |= pool[bestIdx].mask
+			set = append(set, pool[bestIdx].o.ID)
+			sum += pool[bestIdx].d
+			if sum >= curCost {
+				feasible = false // partial sum already exceeds the incumbent
+				break
+			}
+		}
+		if !feasible {
+			continue
+		}
+		stats.SetsEvaluated++
+		if c := e.EvalCost(SumMax, q.Loc, set); c < curCost {
+			curSet, curCost = canonical(set), c
+			it.Limit(curCost)
+		}
+	}
+
+	stats.Elapsed = time.Since(start)
+	return Result{Set: curSet, Cost: curCost, Cost2: SumMax, Stats: stats}, nil
+}

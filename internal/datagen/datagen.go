@@ -1,0 +1,346 @@
+// Package datagen generates the synthetic workloads the experiments run
+// on. The paper evaluates on three real datasets (Hotel, GN, Web) that are
+// not redistributable; the generators here are calibrated to their
+// published statistics — object count, vocabulary size, keywords per
+// object, and a Zipfian keyword frequency skew — which are the quantities
+// the CoSKQ algorithms' pruning behaviour actually depends on (see
+// DESIGN.md §3 for the substitution rationale).
+//
+// It also reproduces the paper's two dataset transformations (keyword
+// augmentation for the avg |o.ψ| sweep and object augmentation for the
+// scalability sweep) and the paper's query generator: a location drawn
+// uniformly from the dataset MBR and query keywords drawn from a
+// top-frequency percentile band of the keyword ranking.
+package datagen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/invindex"
+	"coskq/internal/kwds"
+)
+
+// Config parameterizes a synthetic dataset.
+type Config struct {
+	Name        string
+	NumObjects  int
+	VocabSize   int     // distinct keywords
+	AvgKeywords float64 // mean |o.ψ| (≥ 1)
+	MaxKeywords int     // hard cap on |o.ψ| (0 = 4× average)
+	ZipfS       float64 // keyword frequency skew (> 1; 0 = default 1.1)
+	Clusters    int     // spatial Gaussian clusters (0 = uniform)
+	ClusterStd  float64 // cluster std dev as a fraction of Extent (0 = 0.02)
+	Extent      float64 // world is [0, Extent]² (0 = 1000)
+	// Topics partitions the vocabulary into topic blocks; each object
+	// draws its keywords from at most two topics, giving the keyword
+	// co-occurrence structure real POI data has (a hotel's words cluster
+	// around lodging, a diner's around food). 0 or 1 disables topics
+	// (independent Zipf draws over the whole vocabulary).
+	Topics int
+	Seed   int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.Extent == 0 {
+		c.Extent = 1000
+	}
+	if c.ClusterStd == 0 {
+		c.ClusterStd = 0.02
+	}
+	if c.MaxKeywords == 0 {
+		c.MaxKeywords = int(4 * c.AvgKeywords)
+		if c.MaxKeywords < 2 {
+			c.MaxKeywords = 2
+		}
+	}
+	if c.AvgKeywords < 1 {
+		c.AvgKeywords = 1
+	}
+	return c
+}
+
+// ProfileHotel mirrors the Hotel dataset: 20,790 objects, 602 distinct
+// words, ~3.9 keywords per object (80,645 words total), lightly clustered.
+func ProfileHotel(seed int64) Config {
+	return Config{
+		Name: "Hotel", NumObjects: 20790, VocabSize: 602,
+		AvgKeywords: 3.9, MaxKeywords: 12, Clusters: 50, Seed: seed,
+	}
+}
+
+// ProfileGN mirrors the GN dataset scaled by scale ∈ (0, 1]: at scale 1,
+// 1,868,821 objects, 222,409 distinct words, ~9.8 keywords per object.
+// Geographic names cluster strongly, so the profile uses many clusters.
+func ProfileGN(seed int64, scale float64) Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return Config{
+		Name:       fmt.Sprintf("GN(x%.3g)", scale),
+		NumObjects: max(1, int(1868821*scale)), VocabSize: max(2, int(222409*scale)),
+		AvgKeywords: 9.8, MaxKeywords: 40, Clusters: 400, Seed: seed,
+	}
+}
+
+// ProfileWeb mirrors the Web dataset scaled by scale ∈ (0, 1]: at scale 1,
+// 579,727 objects with a very large vocabulary (2,899,175 words) and long
+// documents (~430 words/object in the original; capped at 60 here — CoSKQ
+// behaviour depends on whether an object covers query keywords, which
+// saturates far below the raw document length).
+func ProfileWeb(seed int64, scale float64) Config {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return Config{
+		Name:       fmt.Sprintf("Web(x%.3g)", scale),
+		NumObjects: max(1, int(579727*scale)), VocabSize: max(2, int(2899175*scale)),
+		AvgKeywords: 30, MaxKeywords: 60, Clusters: 200, Seed: seed,
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Generate builds a dataset from cfg, deterministically in cfg.Seed.
+func Generate(cfg Config) *dataset.Dataset {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	b := dataset.NewBuilder(cfg.Name)
+
+	// Intern the vocabulary in rank order: keyword id 0 is the most
+	// frequent under the Zipf draw below.
+	vocabIDs := make([]kwds.ID, cfg.VocabSize)
+	for i := range vocabIDs {
+		vocabIDs[i] = b.Vocab().Intern(fmt.Sprintf("w%06d", i))
+	}
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.VocabSize-1))
+
+	// Cluster centers for the spatial mixture.
+	type center struct{ x, y float64 }
+	var centers []center
+	for i := 0; i < cfg.Clusters; i++ {
+		centers = append(centers, center{rng.Float64() * cfg.Extent, rng.Float64() * cfg.Extent})
+	}
+	std := cfg.ClusterStd * cfg.Extent
+
+	// Topic machinery: vocabulary split into equal blocks, topic
+	// popularity Zipf-distributed, within-topic ranks Zipf-distributed.
+	useTopics := cfg.Topics > 1 && cfg.VocabSize >= 2*cfg.Topics
+	var (
+		topicZipf *rand.Zipf
+		blockSize int
+		inTopic   *rand.Zipf
+	)
+	if useTopics {
+		blockSize = cfg.VocabSize / cfg.Topics
+		topicZipf = rand.NewZipf(rng, 1.2, 1, uint64(cfg.Topics-1))
+		inTopic = rand.NewZipf(rng, cfg.ZipfS, 1, uint64(blockSize-1))
+	}
+
+	for i := 0; i < cfg.NumObjects; i++ {
+		var p geo.Point
+		if len(centers) == 0 {
+			p = geo.Point{X: rng.Float64() * cfg.Extent, Y: rng.Float64() * cfg.Extent}
+		} else {
+			c := centers[rng.Intn(len(centers))]
+			p = geo.Point{X: clamp(c.x+rng.NormFloat64()*std, cfg.Extent), Y: clamp(c.y+rng.NormFloat64()*std, cfg.Extent)}
+		}
+		k := samplePoisson(rng, cfg.AvgKeywords-1) + 1
+		if k > cfg.MaxKeywords {
+			k = cfg.MaxKeywords
+		}
+		// The object's keyword source: the whole vocabulary, or its one
+		// or two topics.
+		var topics []int
+		if useTopics {
+			topics = append(topics, int(topicZipf.Uint64()))
+			if rng.Intn(3) == 0 { // a third of objects straddle two topics
+				topics = append(topics, int(topicZipf.Uint64()))
+			}
+		}
+		draw := func() kwds.ID {
+			if !useTopics {
+				return vocabIDs[zipf.Uint64()]
+			}
+			t := topics[rng.Intn(len(topics))]
+			return vocabIDs[t*blockSize+int(inTopic.Uint64())]
+		}
+		// Draw until k distinct keywords are collected (the Zipf head
+		// repeats); give up after a bounded number of misses so tiny
+		// vocabularies terminate.
+		set := make(map[kwds.ID]bool, k)
+		ids := make([]kwds.ID, 0, k)
+		for misses := 0; len(ids) < k && misses < 8*k+16; {
+			id := draw()
+			if set[id] {
+				misses++
+				continue
+			}
+			set[id] = true
+			ids = append(ids, id)
+		}
+		b.AddIDs(p, kwds.NewSet(ids...))
+	}
+	return b.Build()
+}
+
+func clamp(v, extent float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > extent {
+		return extent
+	}
+	return v
+}
+
+// samplePoisson draws from Poisson(λ) with Knuth's method (λ is small for
+// every profile; the loop runs O(λ) expected iterations).
+func samplePoisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	limit := math.Exp(-lambda)
+	l := 1.0
+	k := 0
+	for {
+		l *= rng.Float64()
+		if l <= limit {
+			return k
+		}
+		k++
+	}
+}
+
+// AugmentKeywords returns a copy of ds whose average |o.ψ| is raised to at
+// least targetAvg by repeatedly merging the keyword set of a randomly
+// chosen object into each undersized object — the paper's construction
+// for the avg |o.ψ| sweep.
+func AugmentKeywords(ds *dataset.Dataset, targetAvg float64, seed int64) *dataset.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder(fmt.Sprintf("%s+kw%.0f", ds.Name, targetAvg))
+	// Preserve the vocabulary (ids and order).
+	for _, w := range ds.Vocab.Words() {
+		b.Vocab().Intern(w)
+	}
+	n := ds.Len()
+	for i := 0; i < n; i++ {
+		o := ds.Object(dataset.ObjectID(i))
+		set := o.Keywords
+		misses := 0
+		for float64(set.Len()) < targetAvg && misses < 64 {
+			donor := ds.Object(dataset.ObjectID(rng.Intn(n)))
+			merged := set.Union(donor.Keywords)
+			if merged.Len() == set.Len() {
+				// Donor added nothing; retry, but give up on degenerate
+				// vocabularies where no donor can help.
+				misses++
+				continue
+			}
+			misses = 0
+			set = merged
+		}
+		b.AddIDs(o.Loc, set)
+	}
+	return b.Build()
+}
+
+// AugmentToN returns a dataset with n objects: the originals plus new
+// objects whose location resamples an existing object's location (with a
+// small jitter, a kernel-density draw from the base spatial distribution)
+// and whose document is that of another random existing object — the
+// paper's scalability construction.
+func AugmentToN(ds *dataset.Dataset, n int, seed int64) *dataset.Dataset {
+	if n <= ds.Len() {
+		return ds
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dataset.NewBuilder(fmt.Sprintf("%s+n%d", ds.Name, n))
+	for _, w := range ds.Vocab.Words() {
+		b.Vocab().Intern(w)
+	}
+	for i := 0; i < ds.Len(); i++ {
+		o := ds.Object(dataset.ObjectID(i))
+		b.AddIDs(o.Loc, o.Keywords)
+	}
+	mbr := ds.MBR()
+	jitter := (mbr.Width() + mbr.Height()) / 2 / 1000
+	base := ds.Len()
+	for i := base; i < n; i++ {
+		locDonor := ds.Object(dataset.ObjectID(rng.Intn(base)))
+		docDonor := ds.Object(dataset.ObjectID(rng.Intn(base)))
+		p := geo.Point{
+			X: locDonor.Loc.X + rng.NormFloat64()*jitter,
+			Y: locDonor.Loc.Y + rng.NormFloat64()*jitter,
+		}
+		b.AddIDs(p, docDonor.Keywords)
+	}
+	return b.Build()
+}
+
+// QueryGen draws queries the way the paper does: the location uniformly
+// from the dataset MBR, and |q.ψ| keywords picked uniformly (without
+// replacement) from the percentile band [LoPct, HiPct) of the keyword
+// frequency ranking (most frequent first). The paper uses [0, 40).
+type QueryGen struct {
+	mbr  geo.Rect
+	band []kwds.ID
+	rng  *rand.Rand
+}
+
+// NewQueryGen prepares a generator over ds using its inverted index.
+// Percentiles are in [0, 100]; an empty band falls back to all keywords
+// with non-empty postings.
+func NewQueryGen(ds *dataset.Dataset, inv *invindex.Index, loPct, hiPct float64, seed int64) *QueryGen {
+	ranked := inv.ByFrequency()
+	lo := int(loPct / 100 * float64(len(ranked)))
+	hi := int(hiPct / 100 * float64(len(ranked)))
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ranked) {
+		hi = len(ranked)
+	}
+	band := ranked[lo:hi]
+	if len(band) == 0 {
+		band = ranked
+	}
+	return &QueryGen{
+		mbr:  ds.MBR(),
+		band: band,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next returns a query location and k distinct keywords (fewer when the
+// band is smaller than k).
+func (g *QueryGen) Next(k int) (geo.Point, kwds.Set) {
+	p := geo.Point{
+		X: g.mbr.MinX + g.rng.Float64()*g.mbr.Width(),
+		Y: g.mbr.MinY + g.rng.Float64()*g.mbr.Height(),
+	}
+	if k > len(g.band) {
+		k = len(g.band)
+	}
+	picked := make(map[kwds.ID]bool, k)
+	ids := make([]kwds.ID, 0, k)
+	for len(ids) < k {
+		kw := g.band[g.rng.Intn(len(g.band))]
+		if !picked[kw] {
+			picked[kw] = true
+			ids = append(ids, kw)
+		}
+	}
+	return p, kwds.NewSet(ids...)
+}

@@ -1,0 +1,277 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/invindex"
+	"coskq/internal/kwds"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	cfg := Config{Name: "t", NumObjects: 5000, VocabSize: 100, AvgKeywords: 4, Seed: 1}
+	ds := Generate(cfg)
+	s := ds.Stats()
+	if s.NumObjects != 5000 {
+		t.Fatalf("objects = %d", s.NumObjects)
+	}
+	if s.NumUniqueWords != 100 {
+		t.Fatalf("vocab = %d (vocabulary is interned up front)", s.NumUniqueWords)
+	}
+	if s.AvgKeywords < 3 || s.AvgKeywords > 5 {
+		t.Fatalf("avg |o.ψ| = %v, want ≈ 4", s.AvgKeywords)
+	}
+	if s.MaxKeywords > 16 {
+		t.Fatalf("max |o.ψ| = %d exceeds 4×avg cap", s.MaxKeywords)
+	}
+	mbr := ds.MBR()
+	if mbr.MinX < 0 || mbr.MaxX > 1000 || mbr.MinY < 0 || mbr.MaxY > 1000 {
+		t.Fatalf("locations escape the default extent: %v", mbr)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{Name: "d", NumObjects: 500, VocabSize: 50, AvgKeywords: 3, Clusters: 5, Seed: 42}
+	a, b := Generate(cfg), Generate(cfg)
+	if a.Len() != b.Len() {
+		t.Fatal("lengths differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		oa, ob := a.Object(dataset.ObjectID(i)), b.Object(dataset.ObjectID(i))
+		if oa.Loc != ob.Loc || !oa.Keywords.Equal(ob.Keywords) {
+			t.Fatalf("object %d differs between identical seeds", i)
+		}
+	}
+	cfg.Seed = 43
+	c := Generate(cfg)
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		if a.Object(dataset.ObjectID(i)).Loc != c.Object(dataset.ObjectID(i)).Loc {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical locations")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	ds := Generate(Config{Name: "z", NumObjects: 20000, VocabSize: 200, AvgKeywords: 4, Seed: 7})
+	inv := invindex.Build(ds)
+	ranked := inv.ByFrequency()
+	if len(ranked) == 0 {
+		t.Fatal("no keywords")
+	}
+	top := inv.Frequency(ranked[0])
+	mid := inv.Frequency(ranked[len(ranked)/2])
+	if top < 4*mid {
+		t.Fatalf("keyword frequencies not skewed: top %d vs median %d", top, mid)
+	}
+	// Keyword id 0 should be among the most frequent (rank-ordered intern).
+	rankOf0 := -1
+	for i, kw := range ranked {
+		if kw == 0 {
+			rankOf0 = i
+			break
+		}
+	}
+	if rankOf0 < 0 || rankOf0 > len(ranked)/10 {
+		t.Fatalf("keyword 0 should rank near the top, got rank %d", rankOf0)
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	h := ProfileHotel(1)
+	if h.NumObjects != 20790 || h.VocabSize != 602 {
+		t.Fatalf("Hotel profile = %+v", h)
+	}
+	g := ProfileGN(1, 0.01)
+	if g.NumObjects != 18688 {
+		t.Fatalf("GN scaled objects = %d", g.NumObjects)
+	}
+	w := ProfileWeb(1, 0.01)
+	if w.NumObjects != 5797 {
+		t.Fatalf("Web scaled objects = %d", w.NumObjects)
+	}
+	// Out-of-range scale falls back to 1.
+	if ProfileGN(1, -2).NumObjects != 1868821 {
+		t.Fatal("invalid scale should mean full size")
+	}
+	// The Hotel profile's realized statistics approximate the paper's.
+	ds := Generate(h)
+	s := ds.Stats()
+	if math.Abs(s.AvgKeywords-3.9) > 0.5 {
+		t.Fatalf("Hotel avg |o.ψ| = %v, want ≈ 3.9", s.AvgKeywords)
+	}
+	if s.NumWords < 60000 || s.NumWords > 100000 {
+		t.Fatalf("Hotel total words = %d, want ≈ 80k", s.NumWords)
+	}
+}
+
+func TestAugmentKeywords(t *testing.T) {
+	base := Generate(Config{Name: "a", NumObjects: 2000, VocabSize: 300, AvgKeywords: 4, Seed: 3})
+	for _, target := range []float64{8, 16, 24} {
+		aug := AugmentKeywords(base, target, 9)
+		s := aug.Stats()
+		if s.NumObjects != base.Len() {
+			t.Fatalf("augmentation changed object count")
+		}
+		if s.AvgKeywords < target {
+			t.Fatalf("target %v: avg = %v", target, s.AvgKeywords)
+		}
+		if s.AvgKeywords > target+8 {
+			t.Fatalf("target %v: overshoot avg = %v", target, s.AvgKeywords)
+		}
+		// Locations unchanged; keyword sets are supersets of the originals.
+		for i := 0; i < 100; i++ {
+			ob, oa := base.Object(dataset.ObjectID(i)), aug.Object(dataset.ObjectID(i))
+			if ob.Loc != oa.Loc {
+				t.Fatal("augmentation moved an object")
+			}
+			if !oa.Keywords.Covers(ob.Keywords) {
+				t.Fatal("augmentation dropped keywords")
+			}
+		}
+	}
+}
+
+func TestAugmentKeywordsDegenerateVocab(t *testing.T) {
+	b := dataset.NewBuilder("deg")
+	a := b.Vocab().Intern("only")
+	for i := 0; i < 10; i++ {
+		b.AddIDs(geo.Point{X: float64(i), Y: float64(i)}, kwds.NewSet(a))
+	}
+	ds := b.Build()
+	aug := AugmentKeywords(ds, 5, 1) // impossible target: must terminate
+	if aug.Len() != 10 {
+		t.Fatal("object count changed")
+	}
+}
+
+func TestAugmentToN(t *testing.T) {
+	base := Generate(Config{Name: "n", NumObjects: 1000, VocabSize: 100, AvgKeywords: 4, Clusters: 10, Seed: 5})
+	aug := AugmentToN(base, 5000, 11)
+	if aug.Len() != 5000 {
+		t.Fatalf("augmented length = %d", aug.Len())
+	}
+	// Originals preserved verbatim.
+	for i := 0; i < base.Len(); i++ {
+		ob, oa := base.Object(dataset.ObjectID(i)), aug.Object(dataset.ObjectID(i))
+		if ob.Loc != oa.Loc || !ob.Keywords.Equal(oa.Keywords) {
+			t.Fatalf("original object %d modified", i)
+		}
+	}
+	// New objects reuse existing documents: every new keyword set equals
+	// some base object's set.
+	baseSets := map[string]bool{}
+	for i := 0; i < base.Len(); i++ {
+		baseSets[base.Object(dataset.ObjectID(i)).Keywords.String()] = true
+	}
+	for i := base.Len(); i < aug.Len(); i++ {
+		if !baseSets[aug.Object(dataset.ObjectID(i)).Keywords.String()] {
+			t.Fatalf("new object %d has a document not in the base", i)
+		}
+	}
+	// Spatial distribution stays close to the base MBR (jitter is tiny).
+	bm, am := base.MBR(), aug.MBR()
+	if am.Width() > bm.Width()*1.2 || am.Height() > bm.Height()*1.2 {
+		t.Fatalf("augmented MBR blew up: %v vs %v", am, bm)
+	}
+	// No-op when n ≤ len.
+	if AugmentToN(base, 10, 1) != base {
+		t.Fatal("shrinking AugmentToN should return the base unchanged")
+	}
+}
+
+func TestQueryGen(t *testing.T) {
+	ds := Generate(Config{Name: "q", NumObjects: 10000, VocabSize: 200, AvgKeywords: 4, Seed: 13})
+	inv := invindex.Build(ds)
+	g := NewQueryGen(ds, inv, 0, 40, 99)
+	ranked := inv.ByFrequency()
+	bandSet := map[kwds.ID]bool{}
+	for _, kw := range ranked[:len(ranked)*40/100] {
+		bandSet[kw] = true
+	}
+	mbr := ds.MBR()
+	for i := 0; i < 200; i++ {
+		p, q := g.Next(5)
+		if !mbr.ContainsPoint(p) {
+			t.Fatalf("query location %v outside MBR %v", p, mbr)
+		}
+		if q.Len() != 5 {
+			t.Fatalf("|q.ψ| = %d", q.Len())
+		}
+		for _, kw := range q {
+			if !bandSet[kw] {
+				t.Fatalf("keyword %v outside the [0,40) percentile band", kw)
+			}
+		}
+	}
+	// k larger than the band degrades gracefully.
+	small := NewQueryGen(ds, inv, 0, 1, 1)
+	_, q := small.Next(1000)
+	if q.Len() == 0 || q.Len() > len(ranked) {
+		t.Fatalf("oversized k gave %d keywords", q.Len())
+	}
+}
+
+func TestQueryGenDeterministic(t *testing.T) {
+	ds := Generate(Config{Name: "qd", NumObjects: 2000, VocabSize: 100, AvgKeywords: 4, Seed: 21})
+	inv := invindex.Build(ds)
+	a := NewQueryGen(ds, inv, 0, 40, 7)
+	b := NewQueryGen(ds, inv, 0, 40, 7)
+	for i := 0; i < 50; i++ {
+		pa, qa := a.Next(3)
+		pb, qb := b.Next(3)
+		if pa != pb || !qa.Equal(qb) {
+			t.Fatal("query generation not deterministic")
+		}
+	}
+}
+
+// TestTopicsCoOccurrence: with topics enabled, each object's keywords come
+// from at most two vocabulary blocks, and the dataset still meets its
+// size/keyword statistics.
+func TestTopicsCoOccurrence(t *testing.T) {
+	const topics, vocab = 10, 200
+	ds := Generate(Config{
+		Name: "topics", NumObjects: 3000, VocabSize: vocab,
+		AvgKeywords: 5, Topics: topics, Seed: 31,
+	})
+	s := ds.Stats()
+	if s.NumObjects != 3000 {
+		t.Fatalf("objects = %d", s.NumObjects)
+	}
+	if s.AvgKeywords < 3.5 || s.AvgKeywords > 6.5 {
+		t.Fatalf("avg |o.ψ| = %v", s.AvgKeywords)
+	}
+	block := vocab / topics
+	for i := 0; i < ds.Len(); i++ {
+		o := ds.Object(dataset.ObjectID(i))
+		seen := map[int]bool{}
+		for _, kw := range o.Keywords {
+			seen[int(kw)/block] = true
+		}
+		if len(seen) > 2 {
+			t.Fatalf("object %d draws from %d topics: %v", i, len(seen), o.Keywords)
+		}
+	}
+	// Degenerate configurations fall back to topic-less generation.
+	small := Generate(Config{Name: "s", NumObjects: 50, VocabSize: 5, AvgKeywords: 2, Topics: 10, Seed: 1})
+	if small.Len() != 50 {
+		t.Fatal("degenerate topics config failed")
+	}
+}
+
+// TestTopicsDeterministic: topic generation is seed-deterministic.
+func TestTopicsDeterministic(t *testing.T) {
+	cfg := Config{Name: "td", NumObjects: 500, VocabSize: 100, AvgKeywords: 4, Topics: 5, Seed: 77}
+	a, b := Generate(cfg), Generate(cfg)
+	for i := 0; i < a.Len(); i++ {
+		if !a.Object(dataset.ObjectID(i)).Keywords.Equal(b.Object(dataset.ObjectID(i)).Keywords) {
+			t.Fatalf("object %d differs", i)
+		}
+	}
+}

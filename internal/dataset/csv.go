@@ -1,0 +1,139 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"coskq/internal/geo"
+)
+
+// CSV interchange format — one object per record:
+//
+//	x,y,word1 word2 word3 ...
+//
+// The first two fields are the planar coordinates (or lon,lat — see
+// ReadCSVLatLon), the third field is the whitespace-separated keyword
+// list. A header record is detected (non-numeric first field) and
+// skipped. This is the format real geo-textual dumps (e.g. the paper's
+// Hotel/GN datasets) are easily converted to.
+
+// ReadCSV parses a dataset from CSV records of the form "x,y,words".
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	return readCSV(name, r, nil)
+}
+
+// LatLonProjector maps longitude/latitude (degrees) to planar kilometers
+// with an equirectangular projection around a reference latitude — the
+// standard small-region approximation the CoSKQ literature's city- and
+// country-scale datasets tolerate.
+type LatLonProjector struct {
+	RefLatDeg float64
+}
+
+// Project converts (lonDeg, latDeg) to a planar point in kilometers.
+func (p LatLonProjector) Project(lonDeg, latDeg float64) geo.Point {
+	const kmPerDeg = 111.32 // mean kilometers per degree of latitude
+	cos := cosDeg(p.RefLatDeg)
+	return geo.Point{X: lonDeg * kmPerDeg * cos, Y: latDeg * kmPerDeg}
+}
+
+func cosDeg(deg float64) float64 {
+	return math.Cos(deg * math.Pi / 180)
+}
+
+// ReadCSVLatLon parses records of the form "lon,lat,words", projecting
+// coordinates to planar kilometers around refLatDeg.
+func ReadCSVLatLon(name string, r io.Reader, refLatDeg float64) (*Dataset, error) {
+	p := LatLonProjector{RefLatDeg: refLatDeg}
+	return readCSV(name, r, &p)
+}
+
+func readCSV(name string, r io.Reader, proj *LatLonProjector) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // validate per record below
+	cr.TrimLeadingSpace = true
+	b := NewBuilder(name)
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("dataset: csv line %d: want at least 3 fields (x,y,words), got %d", line, len(rec))
+		}
+		x, errX := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		y, errY := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if errX != nil || errY != nil {
+			if line == 1 {
+				continue // header record
+			}
+			return nil, fmt.Errorf("dataset: csv line %d: bad coordinates %q, %q", line, rec[0], rec[1])
+		}
+		words := strings.Fields(rec[2])
+		if len(words) == 0 {
+			return nil, fmt.Errorf("dataset: csv line %d: object has no keywords", line)
+		}
+		loc := geo.Point{X: x, Y: y}
+		if proj != nil {
+			loc = proj.Project(x, y)
+		}
+		b.Add(loc, words...)
+	}
+	return b.Build(), nil
+}
+
+// WriteCSV renders the dataset in the ReadCSV format (with a header).
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y", "keywords"}); err != nil {
+		return fmt.Errorf("dataset: csv write: %w", err)
+	}
+	for i := range d.Objects {
+		o := &d.Objects[i]
+		words := make([]string, o.Keywords.Len())
+		for j, id := range o.Keywords {
+			words[j] = d.Vocab.Word(id)
+		}
+		rec := []string{
+			strconv.FormatFloat(o.Loc.X, 'g', -1, 64),
+			strconv.FormatFloat(o.Loc.Y, 'g', -1, 64),
+			strings.Join(words, " "),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: csv write: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCSV reads a planar-coordinate CSV dataset from a file.
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load csv: %w", err)
+	}
+	defer f.Close()
+	return ReadCSV(trimExt(path), f)
+}
+
+func trimExt(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if i := strings.LastIndexByte(base, '.'); i > 0 {
+		base = base[:i]
+	}
+	return base
+}

@@ -1,0 +1,130 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "x,y,keywords\n1.5,2.5,cafe wifi\n-3,4,museum\n"
+	ds, err := ReadCSV("t", strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+	o := ds.Object(0)
+	if o.Loc.X != 1.5 || o.Loc.Y != 2.5 || o.Keywords.Len() != 2 {
+		t.Fatalf("object 0 = %+v", o)
+	}
+	if _, ok := ds.Vocab.Lookup("museum"); !ok {
+		t.Fatal("museum not interned")
+	}
+}
+
+func TestReadCSVNoHeader(t *testing.T) {
+	ds, err := ReadCSV("t", strings.NewReader("1,2,alpha\n3,4,beta gamma\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 {
+		t.Fatalf("Len = %d", ds.Len())
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"1,2\n",                // too few fields
+		"1,2,ok\nx,y,bad\n",    // non-numeric coordinates past the header slot
+		"1,2,  \n",             // empty keywords
+		"1,2,ok\n3,notnum,w\n", // bad y
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV("t", strings.NewReader(in)); err == nil {
+			t.Errorf("input %q should fail", in)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := buildSample()
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV("sample", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatalf("round trip: %d objects, want %d", got.Len(), ds.Len())
+	}
+	for i := 0; i < ds.Len(); i++ {
+		a, b := ds.Object(ObjectID(i)), got.Object(ObjectID(i))
+		if a.Loc != b.Loc {
+			t.Fatalf("object %d location mismatch", i)
+		}
+		if a.Keywords.Len() != b.Keywords.Len() {
+			t.Fatalf("object %d keywords mismatch", i)
+		}
+	}
+}
+
+func TestLoadCSVFile(t *testing.T) {
+	ds := buildSample()
+	path := filepath.Join(t.TempDir(), "sample.csv")
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "sample" {
+		t.Fatalf("Name = %q (derived from the file name)", got.Name)
+	}
+	if got.Len() != ds.Len() {
+		t.Fatal("length mismatch")
+	}
+	if _, err := LoadCSV(filepath.Join(t.TempDir(), "absent.csv")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestReadCSVLatLon(t *testing.T) {
+	// Two points one degree of latitude apart must be ~111.32 km apart.
+	in := "lon,lat,words\n-122.4,37.7,cafe\n-122.4,38.7,museum\n"
+	ds, err := ReadCSVLatLon("sf", strings.NewReader(in), 38.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := ds.Object(0).Loc.Dist(ds.Object(1).Loc)
+	if math.Abs(d-111.32) > 0.01 {
+		t.Fatalf("1° latitude = %v km, want ≈ 111.32", d)
+	}
+	// One degree of longitude at 38.2°N is shorter by cos(38.2°).
+	in2 := "-122.4,38.2,a\n-121.4,38.2,b\n"
+	ds2, err := ReadCSVLatLon("sf", strings.NewReader(in2), 38.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := ds2.Object(0).Loc.Dist(ds2.Object(1).Loc)
+	want := 111.32 * math.Cos(38.2*math.Pi/180)
+	if math.Abs(d2-want) > 0.01 {
+		t.Fatalf("1° longitude = %v km, want ≈ %v", d2, want)
+	}
+}
+
+// writeFile is a tiny helper (os.WriteFile with default perms).
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,197 @@
+// Package dataset defines the geo-textual object store the CoSKQ system
+// operates on: objects carrying a planar location and a keyword set, plus
+// dataset-level statistics and binary persistence.
+//
+// The representation mirrors the paper's data model: a set O of objects,
+// each object o with a spatial location o.λ and a keyword set o.ψ.
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+// ObjectID identifies an object inside one Dataset; IDs are dense indexes
+// into Dataset.Objects.
+type ObjectID uint32
+
+// Object is a geo-textual object: a point location with a keyword set.
+type Object struct {
+	ID       ObjectID
+	Loc      geo.Point
+	Keywords kwds.Set
+}
+
+// Dataset is an immutable-after-build collection of geo-textual objects
+// with their shared vocabulary.
+type Dataset struct {
+	Name    string
+	Objects []Object
+	Vocab   *kwds.Vocabulary
+}
+
+// Builder accumulates objects into a Dataset.
+type Builder struct {
+	name    string
+	vocab   *kwds.Vocabulary
+	objects []Object
+}
+
+// NewBuilder returns a Builder for a dataset with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, vocab: kwds.NewVocabulary()}
+}
+
+// Vocab exposes the builder's vocabulary for pre-interning words.
+func (b *Builder) Vocab() *kwds.Vocabulary { return b.vocab }
+
+// Add appends an object with the given location and keyword strings and
+// returns its id.
+func (b *Builder) Add(loc geo.Point, words ...string) ObjectID {
+	ids := make([]kwds.ID, len(words))
+	for i, w := range words {
+		ids[i] = b.vocab.Intern(w)
+	}
+	return b.AddIDs(loc, kwds.NewSet(ids...))
+}
+
+// AddIDs appends an object with pre-interned keyword ids.
+func (b *Builder) AddIDs(loc geo.Point, set kwds.Set) ObjectID {
+	id := ObjectID(len(b.objects))
+	b.objects = append(b.objects, Object{ID: id, Loc: loc, Keywords: set})
+	return id
+}
+
+// Build finalizes the dataset. The builder must not be used afterwards.
+func (b *Builder) Build() *Dataset {
+	return &Dataset{Name: b.name, Objects: b.objects, Vocab: b.vocab}
+}
+
+// Len returns the number of objects.
+func (d *Dataset) Len() int { return len(d.Objects) }
+
+// Object returns the object with the given id.
+func (d *Dataset) Object(id ObjectID) *Object { return &d.Objects[id] }
+
+// MBR returns the minimum bounding rectangle of all object locations.
+func (d *Dataset) MBR() geo.Rect {
+	r := geo.EmptyRect()
+	for i := range d.Objects {
+		r = r.ExtendPoint(d.Objects[i].Loc)
+	}
+	return r
+}
+
+// Stats summarizes a dataset the way the paper's dataset table does.
+type Stats struct {
+	NumObjects     int     // |O|
+	NumUniqueWords int     // vocabulary size
+	NumWords       int     // total keyword occurrences (Σ |o.ψ|)
+	AvgKeywords    float64 // average |o.ψ|
+	MaxKeywords    int
+	MBR            geo.Rect
+}
+
+// Stats computes dataset statistics in one pass.
+func (d *Dataset) Stats() Stats {
+	s := Stats{
+		NumObjects:     len(d.Objects),
+		NumUniqueWords: d.Vocab.Len(),
+		MBR:            geo.EmptyRect(),
+	}
+	for i := range d.Objects {
+		n := d.Objects[i].Keywords.Len()
+		s.NumWords += n
+		if n > s.MaxKeywords {
+			s.MaxKeywords = n
+		}
+		s.MBR = s.MBR.ExtendPoint(d.Objects[i].Loc)
+	}
+	if s.NumObjects > 0 {
+		s.AvgKeywords = float64(s.NumWords) / float64(s.NumObjects)
+	}
+	return s
+}
+
+// String renders the stats as one table row.
+func (s Stats) String() string {
+	return fmt.Sprintf("objects=%d uniqueWords=%d words=%d avg|o.ψ|=%.2f max|o.ψ|=%d",
+		s.NumObjects, s.NumUniqueWords, s.NumWords, s.AvgKeywords, s.MaxKeywords)
+}
+
+// gobDataset is the wire representation: the vocabulary is flattened to a
+// word list because kwds.Vocabulary keeps an unexported map.
+type gobDataset struct {
+	Name   string
+	Words  []string
+	Locs   []geo.Point
+	Kwsets [][]kwds.ID
+}
+
+// Encode writes the dataset to w in a self-contained binary form.
+func (d *Dataset) Encode(w io.Writer) error {
+	g := gobDataset{
+		Name:   d.Name,
+		Words:  d.Vocab.Words(),
+		Locs:   make([]geo.Point, len(d.Objects)),
+		Kwsets: make([][]kwds.ID, len(d.Objects)),
+	}
+	for i := range d.Objects {
+		g.Locs[i] = d.Objects[i].Loc
+		g.Kwsets[i] = d.Objects[i].Keywords
+	}
+	return gob.NewEncoder(w).Encode(&g)
+}
+
+// Decode reads a dataset previously written by Encode.
+func Decode(r io.Reader) (*Dataset, error) {
+	var g gobDataset
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	if len(g.Locs) != len(g.Kwsets) {
+		return nil, fmt.Errorf("dataset: decode: %d locations but %d keyword sets", len(g.Locs), len(g.Kwsets))
+	}
+	vocab := kwds.NewVocabulary()
+	for _, w := range g.Words {
+		vocab.Intern(w)
+	}
+	objs := make([]Object, len(g.Locs))
+	for i := range objs {
+		for _, id := range g.Kwsets[i] {
+			if int(id) >= vocab.Len() {
+				return nil, fmt.Errorf("dataset: decode: object %d references keyword %d outside vocabulary of size %d", i, id, vocab.Len())
+			}
+		}
+		objs[i] = Object{ID: ObjectID(i), Loc: g.Locs[i], Keywords: g.Kwsets[i]}
+	}
+	return &Dataset{Name: g.Name, Objects: objs, Vocab: vocab}, nil
+}
+
+// Save writes the dataset to a file.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	if err := d.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a dataset from a file written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}

@@ -1,0 +1,178 @@
+package dataset
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+func buildSample() *Dataset {
+	b := NewBuilder("sample")
+	b.Add(geo.Point{X: 0, Y: 0}, "hotel", "pool")
+	b.Add(geo.Point{X: 1, Y: 2}, "restaurant")
+	b.Add(geo.Point{X: -3, Y: 4}, "hotel", "restaurant", "spa")
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	d := buildSample()
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Name != "sample" {
+		t.Fatalf("Name = %q", d.Name)
+	}
+	o := d.Object(2)
+	if o.ID != 2 || o.Loc != (geo.Point{X: -3, Y: 4}) || o.Keywords.Len() != 3 {
+		t.Fatalf("object 2 wrong: %+v", o)
+	}
+	// "hotel" interned once: objects 0 and 2 share its id.
+	hid, ok := d.Vocab.Lookup("hotel")
+	if !ok {
+		t.Fatal("hotel missing from vocab")
+	}
+	if !d.Object(0).Keywords.Contains(hid) || !d.Object(2).Keywords.Contains(hid) {
+		t.Fatal("hotel id should appear in objects 0 and 2")
+	}
+	if d.Vocab.Len() != 4 {
+		t.Fatalf("vocab size = %d, want 4", d.Vocab.Len())
+	}
+}
+
+func TestAddIDs(t *testing.T) {
+	b := NewBuilder("ids")
+	a := b.Vocab().Intern("a")
+	c := b.Vocab().Intern("c")
+	id := b.AddIDs(geo.Point{X: 1, Y: 1}, kwds.NewSet(c, a))
+	d := b.Build()
+	if id != 0 {
+		t.Fatalf("first id should be 0, got %d", id)
+	}
+	if !d.Object(0).Keywords.Equal(kwds.NewSet(a, c)) {
+		t.Fatal("keyword set mismatch")
+	}
+}
+
+func TestMBRAndStats(t *testing.T) {
+	d := buildSample()
+	mbr := d.MBR()
+	want := geo.Rect{MinX: -3, MinY: 0, MaxX: 1, MaxY: 4}
+	if mbr != want {
+		t.Fatalf("MBR = %v, want %v", mbr, want)
+	}
+	s := d.Stats()
+	if s.NumObjects != 3 || s.NumUniqueWords != 4 || s.NumWords != 6 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AvgKeywords != 2.0 || s.MaxKeywords != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MBR != want {
+		t.Fatalf("stats MBR = %v", s.MBR)
+	}
+	if !strings.Contains(s.String(), "objects=3") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestEmptyDatasetStats(t *testing.T) {
+	d := NewBuilder("empty").Build()
+	s := d.Stats()
+	if s.NumObjects != 0 || s.AvgKeywords != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if !d.MBR().IsEmpty() {
+		t.Fatal("empty dataset MBR should be empty")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	d := buildSample()
+	var buf bytes.Buffer
+	if err := d.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := buildSample()
+	path := filepath.Join(t.TempDir(), "sample.gob")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualDatasets(t, d, got)
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.gob")); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Fatal("expected error for garbage input")
+	}
+}
+
+func TestRoundTripRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	for trial := 0; trial < 10; trial++ {
+		b := NewBuilder("rand")
+		n := rng.Intn(200)
+		for i := 0; i < n; i++ {
+			k := 1 + rng.Intn(4)
+			ws := make([]string, k)
+			for j := range ws {
+				ws[j] = words[rng.Intn(len(words))]
+			}
+			b.Add(geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}, ws...)
+		}
+		d := b.Build()
+		var buf bytes.Buffer
+		if err := d.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualDatasets(t, d, got)
+	}
+}
+
+func assertEqualDatasets(t *testing.T, want, got *Dataset) {
+	t.Helper()
+	if got.Name != want.Name || got.Len() != want.Len() {
+		t.Fatalf("dataset header mismatch: %q/%d vs %q/%d", got.Name, got.Len(), want.Name, want.Len())
+	}
+	if got.Vocab.Len() != want.Vocab.Len() {
+		t.Fatalf("vocab size mismatch: %d vs %d", got.Vocab.Len(), want.Vocab.Len())
+	}
+	for i := 0; i < want.Vocab.Len(); i++ {
+		if got.Vocab.Word(kwds.ID(i)) != want.Vocab.Word(kwds.ID(i)) {
+			t.Fatalf("vocab word %d mismatch", i)
+		}
+	}
+	for i := range want.Objects {
+		w, g := want.Object(ObjectID(i)), got.Object(ObjectID(i))
+		if g.ID != w.ID || g.Loc != w.Loc || !g.Keywords.Equal(w.Keywords) {
+			t.Fatalf("object %d mismatch: %+v vs %+v", i, g, w)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coskq/internal/core"
+	"coskq/internal/datagen"
+)
+
+// tinyOptions keeps the suite fast for unit testing.
+func tinyOptions(buf *bytes.Buffer) Options {
+	return Options{Queries: 3, Seed: 1, Scale: 0.001, NodeBudget: 200_000, Out: buf}
+}
+
+func TestT1PrintsAllProfiles(t *testing.T) {
+	var buf bytes.Buffer
+	T1(tinyOptions(&buf))
+	out := buf.String()
+	for _, want := range []string{"Hotel", "GN", "Web", "unique words"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("T1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestQuerySweepSmall(t *testing.T) {
+	var buf bytes.Buffer
+	opt := tinyOptions(&buf)
+	ds := datagen.Generate(datagen.Config{
+		Name: "tiny", NumObjects: 2000, VocabSize: 60, AvgKeywords: 4, Seed: 2,
+	})
+	querySweep(opt, "Etest", ds, core.MaxSum, []int{2, 3})
+	out := buf.String()
+	for _, want := range []string{"Etest", "MaxSum-Exact", "Cao-Exact", "MaxSum-Appro", "Cao-Appro1", "Cao-Appro2", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Two parameter rows, each with a ratio line.
+	if strings.Count(out, "ratio") != 2 {
+		t.Fatalf("expected 2 ratio rows:\n%s", out)
+	}
+}
+
+func TestDiaSweepUsesStarredBaselines(t *testing.T) {
+	var buf bytes.Buffer
+	opt := tinyOptions(&buf)
+	ds := datagen.Generate(datagen.Config{
+		Name: "tiny", NumObjects: 1000, VocabSize: 40, AvgKeywords: 4, Seed: 3,
+	})
+	querySweep(opt, "Etest", ds, core.Dia, []int{2})
+	out := buf.String()
+	for _, want := range []string{"Dia-Exact", "Cao-Exact*", "Cao-Appro1*", "Dia-Appro"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Dia sweep missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("T1", tinyOptions(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Run("nope", tinyOptions(&buf)); err == nil {
+		t.Fatal("unknown experiment should error")
+	}
+}
+
+func TestRunSettingRatiosSane(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "s", NumObjects: 3000, VocabSize: 80, AvgKeywords: 4, Seed: 5,
+	})
+	eng := core.NewEngine(ds, 0)
+	queries := genQueries(eng, 10, 3, 7)
+	algos := algosFor(core.MaxSum)
+	cells := runSetting(eng, core.MaxSum, queries, algos, 0)
+	for _, a := range algos {
+		c := cells[a.name]
+		if a.exact {
+			continue
+		}
+		if c.ratio.N() == 0 {
+			t.Fatalf("%s recorded no ratios", a.name)
+		}
+		if c.ratio.Min() < 1-1e-9 {
+			t.Fatalf("%s ratio below 1: %v (exact must be optimal)", a.name, c.ratio.Min())
+		}
+	}
+	// The owner-driven approximation must stay within its proved bound.
+	if r := cells["MaxSum-Appro"].ratio.Max(); r > 1.375+1e-9 {
+		t.Fatalf("MaxSum-Appro ratio %v exceeds 1.375", r)
+	}
+}
+
+func TestRunSettingDNFCounting(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "dnf", NumObjects: 3000, VocabSize: 40, AvgKeywords: 6, Seed: 6,
+	})
+	eng := core.NewEngine(ds, 0)
+	queries := genQueries(eng, 5, 6, 8)
+	algos := algosFor(core.MaxSum)
+	cells := runSetting(eng, core.MaxSum, queries, algos, 1) // impossible budget
+	for _, a := range algos {
+		c := cells[a.name]
+		if a.exact && c.dnf == 0 {
+			t.Fatalf("%s should DNF under a 1-node budget", a.name)
+		}
+		if !a.exact && c.dnf != 0 {
+			t.Fatalf("%s (approximate) should never DNF", a.name)
+		}
+	}
+}
+
+// TestAllExperimentsTinyScale drives every experiment end-to-end at a
+// minuscule scale — an integration test of the full harness surface.
+func TestAllExperimentsTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-suite integration test")
+	}
+	var buf bytes.Buffer
+	opt := Options{Queries: 2, Seed: 3, Scale: 0.0005, NodeBudget: 100_000, Out: &buf}
+	// Scalability sweeps are separately shrunk via their own sizes; patch
+	// by running only the cheap experiments here plus one sweep setting.
+	for _, id := range []string{"T1", "E1", "E2", "X1"} {
+		if err := Run(id, opt); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"T1", "E1", "E2", "X1", "%optimal"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q", want)
+		}
+	}
+}

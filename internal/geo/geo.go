@@ -1,0 +1,262 @@
+// Package geo provides the planar Euclidean geometry substrate used by the
+// spatial indexes and the CoSKQ algorithms: points, axis-aligned rectangles
+// (MBRs), circles, and the distance predicates the distance owner-driven
+// search relies on (point–point, point–rectangle min/max distance, and
+// circle/rectangle/lens containment tests).
+//
+// All coordinates are float64 and distances are Euclidean, matching the
+// paper's setting.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and r.
+func (p Point) Dist(r Point) float64 {
+	return math.Hypot(p.X-r.X, p.Y-r.Y)
+}
+
+// Dist2 returns the squared Euclidean distance between p and r. It avoids
+// the square root for comparison-only call sites on hot paths.
+func (p Point) Dist2(r Point) float64 {
+	dx, dy := p.X-r.X, p.Y-r.Y
+	return dx*dx + dy*dy
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string {
+	return fmt.Sprintf("(%.6g, %.6g)", p.X, p.Y)
+}
+
+// Midpoint returns the midpoint of the segment p–r.
+func (p Point) Midpoint(r Point) Point {
+	return Point{X: (p.X + r.X) / 2, Y: (p.Y + r.Y) / 2}
+}
+
+// Rect is a closed axis-aligned rectangle (a minimum bounding rectangle).
+// A Rect is valid when MinX <= MaxX and MinY <= MaxY; EmptyRect is the
+// identity element for Union.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyRect returns the empty rectangle: the Union identity, containing no
+// points and intersecting nothing.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// RectFromPoint returns the degenerate rectangle covering exactly p.
+func RectFromPoint(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// RectFromPoints returns the minimum bounding rectangle of pts, or
+// EmptyRect when pts is empty.
+func RectFromPoints(pts ...Point) Rect {
+	r := EmptyRect()
+	for _, p := range pts {
+		r = r.ExtendPoint(p)
+	}
+	return r
+}
+
+// IsEmpty reports whether r contains no points.
+func (r Rect) IsEmpty() bool {
+	return r.MinX > r.MaxX || r.MinY > r.MaxY
+}
+
+// Width returns the extent of r along the x axis (0 when empty).
+func (r Rect) Width() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxX - r.MinX
+}
+
+// Height returns the extent of r along the y axis (0 when empty).
+func (r Rect) Height() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return r.MaxY - r.MinY
+}
+
+// Area returns the area of r (0 when empty or degenerate).
+func (r Rect) Area() float64 {
+	return r.Width() * r.Height()
+}
+
+// Margin returns half the perimeter of r.
+func (r Rect) Margin() float64 {
+	return r.Width() + r.Height()
+}
+
+// Center returns the center point of r. Undefined for the empty rectangle.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// ContainsPoint reports whether p lies inside r (boundary inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	return p.X >= r.MinX && p.X <= r.MaxX && p.Y >= r.MinY && p.Y <= r.MaxY
+}
+
+// ContainsRect reports whether s lies entirely inside r. The empty
+// rectangle is contained in every rectangle.
+func (r Rect) ContainsRect(s Rect) bool {
+	if s.IsEmpty() {
+		return true
+	}
+	if r.IsEmpty() {
+		return false
+	}
+	return s.MinX >= r.MinX && s.MaxX <= r.MaxX && s.MinY >= r.MinY && s.MaxY <= r.MaxY
+}
+
+// Intersects reports whether r and s share at least one point.
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX && r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Union returns the minimum bounding rectangle of r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// ExtendPoint returns the minimum bounding rectangle of r and p.
+func (r Rect) ExtendPoint(p Point) Rect {
+	return r.Union(RectFromPoint(p))
+}
+
+// Enlargement returns the area increase Union(r, s).Area() - r.Area().
+// It is the quantity the R-tree insertion heuristic minimizes.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// MinDist returns the minimum Euclidean distance from p to any point of r,
+// which is 0 when p lies inside r. This is the classic R-tree MINDIST bound:
+// no object inside r can be closer to p than MinDist.
+func (r Rect) MinDist(p Point) float64 {
+	return math.Sqrt(r.MinDist2(p))
+}
+
+// MinDist2 returns the squared MinDist.
+func (r Rect) MinDist2(p Point) float64 {
+	if r.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := math.Max(math.Max(r.MinX-p.X, 0), p.X-r.MaxX)
+	dy := math.Max(math.Max(r.MinY-p.Y, 0), p.Y-r.MaxY)
+	return dx*dx + dy*dy
+}
+
+// MaxDist returns the maximum Euclidean distance from p to any point of r:
+// every object inside r is within MaxDist of p.
+func (r Rect) MaxDist(p Point) float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	dx := math.Max(math.Abs(p.X-r.MinX), math.Abs(p.X-r.MaxX))
+	dy := math.Max(math.Abs(p.Y-r.MinY), math.Abs(p.Y-r.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// String implements fmt.Stringer.
+func (r Rect) String() string {
+	if r.IsEmpty() {
+		return "Rect(empty)"
+	}
+	return fmt.Sprintf("Rect[%.6g,%.6g – %.6g,%.6g]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// Circle is a closed disk with center C and radius R (R >= 0).
+type Circle struct {
+	C Point
+	R float64
+}
+
+// ContainsPoint reports whether p lies inside c (boundary inclusive, with a
+// tiny relative tolerance so that points constructed to sit exactly on the
+// boundary are not excluded by floating-point rounding).
+func (c Circle) ContainsPoint(p Point) bool {
+	d2 := c.C.Dist2(p)
+	r2 := c.R * c.R
+	return d2 <= r2 || d2 <= r2*(1+1e-12)+1e-300
+}
+
+// IntersectsRect reports whether the disk c and the rectangle r share at
+// least one point. Used by index descents restricted to a disk.
+func (c Circle) IntersectsRect(r Rect) bool {
+	return r.MinDist2(c.C) <= c.R*c.R
+}
+
+// ContainsRect reports whether r lies entirely inside the disk c.
+func (c Circle) ContainsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return true
+	}
+	return r.MaxDist(c.C) <= c.R
+}
+
+// BoundingRect returns the tight axis-aligned bounding rectangle of c.
+func (c Circle) BoundingRect() Rect {
+	return Rect{MinX: c.C.X - c.R, MinY: c.C.Y - c.R, MaxX: c.C.X + c.R, MaxY: c.C.Y + c.R}
+}
+
+// Ring is the set of points p with RMin <= d(C, p) <= RMax. The CoSKQ
+// algorithms iterate candidate distance owners inside a ring around the
+// query location.
+type Ring struct {
+	C          Point
+	RMin, RMax float64
+}
+
+// ContainsPoint reports whether p lies inside the ring (both boundaries
+// inclusive).
+func (g Ring) ContainsPoint(p Point) bool {
+	d := g.C.Dist(p)
+	return d >= g.RMin && d <= g.RMax
+}
+
+// IntersectsRect reports whether the ring and the rectangle share at least
+// one point: the rectangle must reach inward past RMin and its nearest
+// point must be within RMax.
+func (g Ring) IntersectsRect(r Rect) bool {
+	if r.IsEmpty() {
+		return false
+	}
+	return r.MinDist(g.C) <= g.RMax && r.MaxDist(g.C) >= g.RMin
+}
+
+// Lens reports whether p lies in the intersection region
+// C(a, r) ∩ C(b, r): the "lens" the exact algorithms enumerate after fixing
+// the pairwise distance owners a and b with d(a, b) = r.
+func Lens(a, b Point, r float64, p Point) bool {
+	return Circle{C: a, R: r}.ContainsPoint(p) && Circle{C: b, R: r}.ContainsPoint(p)
+}

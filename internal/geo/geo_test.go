@@ -1,0 +1,370 @@
+package geo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestPointDist(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{Point{0, 0}, Point{0, 0}, 0},
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{-1, -1}, Point{2, 3}, 5},
+		{Point{1.5, 2.5}, Point{1.5, 2.5}, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Dist(c.b); !almostEq(got, c.want) {
+			t.Errorf("Dist(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.a.Dist2(c.b); !almostEq(got, c.want*c.want) {
+			t.Errorf("Dist2(%v,%v) = %v, want %v", c.a, c.b, got, c.want*c.want)
+		}
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	m := Point{0, 0}.Midpoint(Point{4, -2})
+	if m != (Point{2, -1}) {
+		t.Fatalf("Midpoint = %v, want (2,-1)", m)
+	}
+}
+
+// clampPt maps an arbitrary quick-generated point into a sane range so the
+// metric-axiom properties are not dominated by overflow.
+func clampPt(p Point) Point {
+	c := func(v float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return math.Mod(v, 1e6)
+	}
+	return Point{c(p.X), c(p.Y)}
+}
+
+func TestDistMetricAxioms(t *testing.T) {
+	symmetry := func(a, b Point) bool {
+		a, b = clampPt(a), clampPt(b)
+		return almostEq(a.Dist(b), b.Dist(a))
+	}
+	if err := quick.Check(symmetry, nil); err != nil {
+		t.Errorf("symmetry: %v", err)
+	}
+	identity := func(a Point) bool {
+		a = clampPt(a)
+		return a.Dist(a) == 0
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Errorf("identity: %v", err)
+	}
+	triangle := func(a, b, c Point) bool {
+		a, b, c = clampPt(a), clampPt(b), clampPt(c)
+		return a.Dist(c) <= a.Dist(b)+b.Dist(c)+1e-6
+	}
+	if err := quick.Check(triangle, nil); err != nil {
+		t.Errorf("triangle inequality: %v", err)
+	}
+	nonneg := func(a, b Point) bool {
+		a, b = clampPt(a), clampPt(b)
+		return a.Dist(b) >= 0
+	}
+	if err := quick.Check(nonneg, nil); err != nil {
+		t.Errorf("non-negativity: %v", err)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if e.Area() != 0 || e.Width() != 0 || e.Height() != 0 || e.Margin() != 0 {
+		t.Fatal("empty rect should have zero measures")
+	}
+	if e.ContainsPoint(Point{0, 0}) {
+		t.Fatal("empty rect contains no point")
+	}
+	r := Rect{0, 0, 1, 1}
+	if got := e.Union(r); got != r {
+		t.Fatalf("empty ∪ r = %v, want %v", got, r)
+	}
+	if got := r.Union(e); got != r {
+		t.Fatalf("r ∪ empty = %v, want %v", got, r)
+	}
+	if e.Intersects(r) || r.Intersects(e) {
+		t.Fatal("empty rect intersects nothing")
+	}
+	if !r.ContainsRect(e) {
+		t.Fatal("every rect contains the empty rect")
+	}
+	if e.ContainsRect(r) {
+		t.Fatal("empty rect contains no non-empty rect")
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{0, 0, 4, 2}
+	if r.Width() != 4 || r.Height() != 2 || r.Area() != 8 || r.Margin() != 6 {
+		t.Fatalf("measures wrong: %v", r)
+	}
+	if r.Center() != (Point{2, 1}) {
+		t.Fatalf("Center = %v", r.Center())
+	}
+	for _, p := range []Point{{0, 0}, {4, 2}, {2, 1}, {0, 2}} {
+		if !r.ContainsPoint(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 0}, {4.1, 2}, {2, 2.5}} {
+		if r.ContainsPoint(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestRectFromPoints(t *testing.T) {
+	r := RectFromPoints(Point{1, 5}, Point{-2, 3}, Point{0, 7})
+	want := Rect{-2, 3, 1, 7}
+	if r != want {
+		t.Fatalf("RectFromPoints = %v, want %v", r, want)
+	}
+	if !RectFromPoints().IsEmpty() {
+		t.Fatal("RectFromPoints() should be empty")
+	}
+}
+
+func TestRectIntersectsContains(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	b := Rect{1, 1, 3, 3}
+	c := Rect{2, 2, 4, 4} // touches a at a corner
+	d := Rect{5, 5, 6, 6}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("a and b intersect")
+	}
+	if !a.Intersects(c) {
+		t.Error("touching rectangles intersect (closed rects)")
+	}
+	if a.Intersects(d) {
+		t.Error("a and d are disjoint")
+	}
+	if !a.ContainsRect(Rect{0.5, 0.5, 1.5, 1.5}) {
+		t.Error("inner rect should be contained")
+	}
+	if a.ContainsRect(b) {
+		t.Error("b sticks out of a")
+	}
+}
+
+func randRect(rng *rand.Rand) Rect {
+	x1, y1 := rng.Float64()*100, rng.Float64()*100
+	x2, y2 := x1+rng.Float64()*50, y1+rng.Float64()*50
+	return Rect{x1, y1, x2, y2}
+}
+
+func TestRectUnionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		a, b := randRect(rng), randRect(rng)
+		u := a.Union(b)
+		if !u.ContainsRect(a) || !u.ContainsRect(b) {
+			t.Fatalf("union %v of %v,%v does not contain both", u, a, b)
+		}
+		if u != b.Union(a) {
+			t.Fatalf("union not commutative for %v, %v", a, b)
+		}
+		if a.Enlargement(b) < -1e-9 {
+			t.Fatalf("enlargement negative for %v, %v", a, b)
+		}
+		// Sampled point containment coherence.
+		p := Point{rng.Float64() * 150, rng.Float64() * 150}
+		if a.ContainsPoint(p) && !u.ContainsPoint(p) {
+			t.Fatalf("point %v in a=%v but not in union %v", p, a, u)
+		}
+	}
+}
+
+func TestMinMaxDist(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	cases := []struct {
+		p        Point
+		min, max float64
+	}{
+		{Point{1, 1}, 0, math.Sqrt2},                  // inside: min 0, max to corner
+		{Point{3, 1}, 1, math.Hypot(3, 1)},            // right of rect
+		{Point{-1, -1}, math.Sqrt2, math.Hypot(3, 3)}, // diagonal outside
+		{Point{1, 5}, 3, math.Hypot(1, 5)},            // above
+	}
+	for _, c := range cases {
+		if got := r.MinDist(c.p); !almostEq(got, c.min) {
+			t.Errorf("MinDist(%v) = %v, want %v", c.p, got, c.min)
+		}
+		if got := r.MaxDist(c.p); !almostEq(got, c.max) {
+			t.Errorf("MaxDist(%v) = %v, want %v", c.p, got, c.max)
+		}
+	}
+	if !math.IsInf(EmptyRect().MinDist2(Point{0, 0}), 1) {
+		t.Error("MinDist2 of empty rect should be +inf")
+	}
+	if EmptyRect().MaxDist(Point{0, 0}) != 0 {
+		t.Error("MaxDist of empty rect should be 0")
+	}
+}
+
+// MinDist/MaxDist must bound the distance to every point inside the rect.
+func TestMinMaxDistBoundProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		r := randRect(rng)
+		q := Point{rng.Float64()*300 - 100, rng.Float64()*300 - 100}
+		lo, hi := r.MinDist(q), r.MaxDist(q)
+		if lo > hi+1e-9 {
+			t.Fatalf("MinDist %v > MaxDist %v", lo, hi)
+		}
+		for j := 0; j < 20; j++ {
+			p := Point{
+				r.MinX + rng.Float64()*r.Width(),
+				r.MinY + rng.Float64()*r.Height(),
+			}
+			d := q.Dist(p)
+			if d < lo-1e-9 || d > hi+1e-9 {
+				t.Fatalf("point %v in %v at distance %v outside [%v, %v] from %v",
+					p, r, d, lo, hi, q)
+			}
+		}
+	}
+}
+
+func TestCircle(t *testing.T) {
+	c := Circle{C: Point{0, 0}, R: 5}
+	if !c.ContainsPoint(Point{3, 4}) {
+		t.Error("boundary point should be contained")
+	}
+	if c.ContainsPoint(Point{3.01, 4.01}) {
+		t.Error("outside point should not be contained")
+	}
+	if !c.IntersectsRect(Rect{3, 3, 10, 10}) {
+		t.Error("rect with corner inside should intersect")
+	}
+	if c.IntersectsRect(Rect{6, 6, 10, 10}) {
+		t.Error("distant rect should not intersect")
+	}
+	if !c.ContainsRect(Rect{-1, -1, 1, 1}) {
+		t.Error("small centered rect should be contained")
+	}
+	if c.ContainsRect(Rect{-1, -1, 5, 5}) {
+		t.Error("rect with far corner should not be contained")
+	}
+	br := c.BoundingRect()
+	if br != (Rect{-5, -5, 5, 5}) {
+		t.Errorf("BoundingRect = %v", br)
+	}
+}
+
+func TestCircleRectConsistencyProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 500; i++ {
+		c := Circle{C: Point{rng.Float64() * 100, rng.Float64() * 100}, R: rng.Float64() * 40}
+		r := randRect(rng)
+		contains := c.ContainsRect(r)
+		intersects := c.IntersectsRect(r)
+		if contains && !intersects {
+			t.Fatalf("circle %v contains %v but does not intersect it", c, r)
+		}
+		// Sample points in the rect; containment of the rect implies
+		// containment of every sampled point.
+		for j := 0; j < 10; j++ {
+			p := Point{r.MinX + rng.Float64()*r.Width(), r.MinY + rng.Float64()*r.Height()}
+			if contains && !c.ContainsPoint(p) {
+				t.Fatalf("circle %v said to contain %v but not point %v", c, r, p)
+			}
+			if c.ContainsPoint(p) && !intersects {
+				t.Fatalf("circle %v contains point %v of %v but IntersectsRect is false", c, p, r)
+			}
+		}
+	}
+}
+
+func TestRing(t *testing.T) {
+	g := Ring{C: Point{0, 0}, RMin: 2, RMax: 5}
+	if g.ContainsPoint(Point{1, 0}) {
+		t.Error("point inside inner hole should be excluded")
+	}
+	if !g.ContainsPoint(Point{3, 0}) || !g.ContainsPoint(Point{2, 0}) || !g.ContainsPoint(Point{5, 0}) {
+		t.Error("ring boundaries are inclusive")
+	}
+	if g.ContainsPoint(Point{6, 0}) {
+		t.Error("point beyond RMax should be excluded")
+	}
+	if !g.IntersectsRect(Rect{3, -1, 4, 1}) {
+		t.Error("rect straddling the ring should intersect")
+	}
+	if g.IntersectsRect(Rect{-0.5, -0.5, 0.5, 0.5}) {
+		t.Error("rect fully inside the hole should not intersect")
+	}
+	if g.IntersectsRect(Rect{10, 10, 11, 11}) {
+		t.Error("distant rect should not intersect")
+	}
+	if g.IntersectsRect(EmptyRect()) {
+		t.Error("empty rect intersects nothing")
+	}
+}
+
+// Ring.IntersectsRect must never report false for a rect that contains a
+// ring point (it is a conservative filter, so false positives are fine but
+// false negatives are bugs).
+func TestRingNoFalseNegativesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 500; i++ {
+		rmin := rng.Float64() * 20
+		g := Ring{C: Point{rng.Float64() * 100, rng.Float64() * 100}, RMin: rmin, RMax: rmin + rng.Float64()*30}
+		r := randRect(rng)
+		for j := 0; j < 10; j++ {
+			p := Point{r.MinX + rng.Float64()*r.Width(), r.MinY + rng.Float64()*r.Height()}
+			if g.ContainsPoint(p) && !g.IntersectsRect(r) {
+				t.Fatalf("ring %+v contains %v inside rect %v but IntersectsRect is false", g, p, r)
+			}
+		}
+	}
+}
+
+func TestLens(t *testing.T) {
+	a, b := Point{0, 0}, Point{4, 0}
+	r := 4.0
+	if !Lens(a, b, r, Point{2, 0}) {
+		t.Error("midpoint is in the lens")
+	}
+	if !Lens(a, b, r, a) || !Lens(a, b, r, b) {
+		t.Error("both centers are in the lens when r = d(a,b)")
+	}
+	if Lens(a, b, r, Point{-1, 0}) {
+		t.Error("point behind a is outside C(b, r)")
+	}
+	if Lens(a, b, r, Point{2, 4}) {
+		t.Error("point above the lens tip is outside")
+	}
+	// Lens tip: at (2, 2*sqrt(3)) both distances are exactly 4.
+	tip := Point{2, 2 * math.Sqrt(3)}
+	if !Lens(a, b, r, tip) {
+		t.Error("lens tip should be included (boundary inclusive)")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if s := (Point{1, 2}).String(); s == "" {
+		t.Error("Point.String empty")
+	}
+	if s := (Rect{0, 0, 1, 1}).String(); s == "" {
+		t.Error("Rect.String empty")
+	}
+	if s := EmptyRect().String(); s != "Rect(empty)" {
+		t.Errorf("EmptyRect.String = %q", s)
+	}
+}

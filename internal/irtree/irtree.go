@@ -1,0 +1,517 @@
+// Package irtree implements the IR-tree: an R-tree over geo-textual
+// objects in which every node carries the keyword union of its subtree
+// (the node's inverted pseudo-document). It supports the textual-spatial
+// primitives the CoSKQ algorithms are built from:
+//
+//   - keyword nearest neighbor NN(p, t): the object nearest to p whose
+//     keyword set contains t, optionally restricted to a disk;
+//   - the nearest neighbor set N(q) = { NN(q, t) : t ∈ q.ψ };
+//   - relevant-object retrieval inside a disk or ring (objects sharing at
+//     least one keyword with the query);
+//   - an incremental iterator over relevant objects in ascending distance,
+//     used to enumerate candidate distance owners.
+//
+// The tree is built once over a dataset (STR bulk load) and then queried;
+// this matches the paper's memory-resident, build-once usage.
+package irtree
+
+import (
+	"math"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+	"coskq/internal/pqueue"
+	"coskq/internal/rtree"
+)
+
+// Tree is an IR-tree over one dataset.
+type Tree struct {
+	rt     *rtree.Tree
+	ds     *dataset.Dataset
+	nodeKw []kwds.Set // NodeID -> keyword union of the subtree
+}
+
+// Build constructs the IR-tree over ds with the given node fanout
+// (0 for the default).
+func Build(ds *dataset.Dataset, fanout int) *Tree {
+	entries := make([]rtree.Entry, ds.Len())
+	for i := range ds.Objects {
+		entries[i] = rtree.Entry{P: ds.Objects[i].Loc, ID: uint32(ds.Objects[i].ID)}
+	}
+	rt := rtree.BulkLoad(entries, fanout)
+	t := &Tree{rt: rt, ds: ds, nodeKw: make([]kwds.Set, rt.NumNodes())}
+	t.annotate(rt.Root())
+	return t
+}
+
+// annotate computes the keyword union of every subtree bottom-up.
+func (t *Tree) annotate(n *rtree.Node) kwds.Set {
+	var parts []kwds.Set
+	if n.Leaf {
+		for _, e := range n.Entries {
+			parts = append(parts, t.ds.Object(dataset.ObjectID(e.ID)).Keywords)
+		}
+	} else {
+		for _, c := range n.Children {
+			parts = append(parts, t.annotate(c))
+		}
+	}
+	u := unionAll(parts)
+	t.nodeKw[n.NodeID] = u
+	return u
+}
+
+// unionAll merges sorted keyword sets with a flatten-sort-dedup pass,
+// which beats repeated pairwise merging for wide nodes.
+func unionAll(parts []kwds.Set) kwds.Set {
+	switch len(parts) {
+	case 0:
+		return nil
+	case 1:
+		return append(kwds.Set(nil), parts[0]...)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	flat := make([]kwds.ID, 0, total)
+	for _, p := range parts {
+		flat = append(flat, p...)
+	}
+	return kwds.NewSet(flat...)
+}
+
+// Dataset returns the dataset the tree indexes.
+func (t *Tree) Dataset() *dataset.Dataset { return t.ds }
+
+// Len returns the number of indexed objects.
+func (t *Tree) Len() int { return t.rt.Len() }
+
+// Height returns the tree height.
+func (t *Tree) Height() int { return t.rt.Height() }
+
+// NodeKeywords exposes a node's keyword union (read-only), for tests.
+func (t *Tree) NodeKeywords(nodeID int) kwds.Set { return t.nodeKw[nodeID] }
+
+// Root exposes the underlying root node, for tests.
+func (t *Tree) Root() *rtree.Node { return t.rt.Root() }
+
+// containsAny reports whether the node's subtree contains at least one of
+// the query keywords. Query sets are tiny, so per-keyword binary search in
+// the node union is the cheap direction.
+func containsAny(nodeKw kwds.Set, query kwds.Set) bool {
+	for _, id := range query {
+		if nodeKw.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// nnHeapItem is either an unexpanded node or a resolved object.
+type nnHeapItem struct {
+	node *rtree.Node
+	obj  dataset.ObjectID
+}
+
+// NN returns the object nearest to p containing keyword kw, with its
+// distance from p; ok is false when no object contains kw.
+func (t *Tree) NN(p geo.Point, kw kwds.ID) (dataset.ObjectID, float64, bool) {
+	return t.nnConstrained(p, kw, geo.Circle{R: -1})
+}
+
+// NNInDisk returns the object nearest to p containing keyword kw among
+// objects located inside disk; ok is false when no such object exists.
+// This is the primitive the approximation algorithms use to cover each
+// uncovered keyword near a candidate distance owner without leaving the
+// owner's disk.
+func (t *Tree) NNInDisk(p geo.Point, kw kwds.ID, disk geo.Circle) (dataset.ObjectID, float64, bool) {
+	return t.nnConstrained(p, kw, disk)
+}
+
+// nnConstrained runs the best-first keyword NN search. A negative disk
+// radius disables the spatial constraint.
+func (t *Tree) nnConstrained(p geo.Point, kw kwds.ID, disk geo.Circle) (dataset.ObjectID, float64, bool) {
+	h := pqueue.New[nnHeapItem](64)
+	root := t.rt.Root()
+	if t.nodeKw[root.NodeID].Contains(kw) {
+		h.Push(nnHeapItem{node: root}, root.Rect.MinDist(p))
+	}
+	for !h.Empty() {
+		item, pri := h.Pop()
+		if item.node == nil {
+			return item.obj, pri, true
+		}
+		n := item.node
+		if n.Leaf {
+			for _, e := range n.Entries {
+				o := t.ds.Object(dataset.ObjectID(e.ID))
+				if !o.Keywords.Contains(kw) {
+					continue
+				}
+				if disk.R >= 0 && !disk.ContainsPoint(o.Loc) {
+					continue
+				}
+				h.Push(nnHeapItem{obj: o.ID}, p.Dist(o.Loc))
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if !t.nodeKw[c.NodeID].Contains(kw) {
+				continue
+			}
+			if disk.R >= 0 && !disk.IntersectsRect(c.Rect) {
+				continue
+			}
+			h.Push(nnHeapItem{node: c}, c.Rect.MinDist(p))
+		}
+	}
+	return 0, 0, false
+}
+
+// NNSet computes the paper's nearest neighbor set N(q): one nearest object
+// per query keyword (duplicates collapse). ok is false when some query
+// keyword appears in no object, i.e. the query is infeasible.
+func (t *Tree) NNSet(p geo.Point, query kwds.Set) ([]dataset.ObjectID, bool) {
+	seen := make(map[dataset.ObjectID]bool, len(query))
+	out := make([]dataset.ObjectID, 0, len(query))
+	for _, kw := range query {
+		id, _, ok := t.NN(p, kw)
+		if !ok {
+			return nil, false
+		}
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out, true
+}
+
+// RelevantInDisk invokes fn for each relevant object (one sharing at least
+// one query keyword) located inside the disk, passing its coverage mask.
+// Returning false from fn stops the search. Order is unspecified.
+func (t *Tree) RelevantInDisk(disk geo.Circle, qi *kwds.QueryIndex, fn func(*dataset.Object, kwds.Mask) bool) {
+	t.relevantInDisk(t.rt.Root(), disk, qi, fn)
+}
+
+func (t *Tree) relevantInDisk(n *rtree.Node, disk geo.Circle, qi *kwds.QueryIndex, fn func(*dataset.Object, kwds.Mask) bool) bool {
+	if !disk.IntersectsRect(n.Rect) || !containsAny(t.nodeKw[n.NodeID], qi.Keywords()) {
+		return true
+	}
+	if n.Leaf {
+		for _, e := range n.Entries {
+			o := t.ds.Object(dataset.ObjectID(e.ID))
+			if !disk.ContainsPoint(o.Loc) {
+				continue
+			}
+			m := qi.MaskOf(o.Keywords)
+			if m == 0 {
+				continue
+			}
+			if !fn(o, m) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.Children {
+		if !t.relevantInDisk(c, disk, qi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// RelevantInRing invokes fn for each relevant object inside the ring.
+// Returning false from fn stops the search. Order is unspecified.
+func (t *Tree) RelevantInRing(ring geo.Ring, qi *kwds.QueryIndex, fn func(*dataset.Object, kwds.Mask) bool) {
+	t.relevantInRing(t.rt.Root(), ring, qi, fn)
+}
+
+func (t *Tree) relevantInRing(n *rtree.Node, ring geo.Ring, qi *kwds.QueryIndex, fn func(*dataset.Object, kwds.Mask) bool) bool {
+	if !ring.IntersectsRect(n.Rect) || !containsAny(t.nodeKw[n.NodeID], qi.Keywords()) {
+		return true
+	}
+	if n.Leaf {
+		for _, e := range n.Entries {
+			o := t.ds.Object(dataset.ObjectID(e.ID))
+			if !ring.ContainsPoint(o.Loc) {
+				continue
+			}
+			m := qi.MaskOf(o.Keywords)
+			if m == 0 {
+				continue
+			}
+			if !fn(o, m) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, c := range n.Children {
+		if !t.relevantInRing(c, ring, qi, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// RelevantNNIterator yields relevant objects in ascending distance from a
+// fixed point: the enumeration order of candidate query distance owners in
+// the distance owner-driven algorithms.
+type RelevantNNIterator struct {
+	t     *Tree
+	p     geo.Point
+	qi    *kwds.QueryIndex
+	h     *pqueue.Queue[nnHeapItem]
+	limit float64
+}
+
+// NewRelevantNNIterator returns an iterator over relevant objects (those
+// sharing a keyword with qi's query) ascending by distance from p.
+func (t *Tree) NewRelevantNNIterator(p geo.Point, qi *kwds.QueryIndex) *RelevantNNIterator {
+	it := &RelevantNNIterator{t: t, p: p, qi: qi, h: pqueue.New[nnHeapItem](64), limit: math.Inf(1)}
+	root := t.rt.Root()
+	if containsAny(t.nodeKw[root.NodeID], qi.Keywords()) {
+		it.h.Push(nnHeapItem{node: root}, root.Rect.MinDist(p))
+	}
+	return it
+}
+
+// Limit informs the iterator that callers will never consume objects at
+// distance ≥ d: subtrees and entries beyond the limit are skipped instead
+// of queued. The owner-driven algorithms tighten the limit as their
+// incumbent cost shrinks; a limit may only decrease (larger values are
+// ignored).
+func (it *RelevantNNIterator) Limit(d float64) {
+	if d < it.limit {
+		it.limit = d
+	}
+}
+
+// Next returns the next relevant object and its distance from the query
+// point, or ok=false when exhausted (or when everything left lies beyond
+// the limit).
+func (it *RelevantNNIterator) Next() (*dataset.Object, float64, bool) {
+	for !it.h.Empty() {
+		item, pri := it.h.Pop()
+		if pri >= it.limit {
+			return nil, 0, false // everything still queued is even farther
+		}
+		if item.node == nil {
+			return it.t.ds.Object(item.obj), pri, true
+		}
+		n := item.node
+		if n.Leaf {
+			for _, e := range n.Entries {
+				o := it.t.ds.Object(dataset.ObjectID(e.ID))
+				d := it.p.Dist(o.Loc)
+				if d >= it.limit {
+					continue
+				}
+				if it.qi.MaskOf(o.Keywords) == 0 {
+					continue
+				}
+				it.h.Push(nnHeapItem{obj: o.ID}, d)
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if c.Rect.MinDist(it.p) >= it.limit {
+				continue
+			}
+			if !containsAny(it.t.nodeKw[c.NodeID], it.qi.Keywords()) {
+				continue
+			}
+			it.h.Push(nnHeapItem{node: c}, c.Rect.MinDist(it.p))
+		}
+	}
+	return nil, 0, false
+}
+
+// containsAnyNeeded reports whether the node's subtree contains at least
+// one query keyword whose bit is set in need.
+func containsAnyNeeded(nodeKw kwds.Set, qi *kwds.QueryIndex, need kwds.Mask) bool {
+	for i, id := range qi.Keywords() {
+		if need&(1<<uint(i)) != 0 && nodeKw.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// NNCoveringInDisk returns the object nearest to p that covers at least one
+// query keyword in the need mask and lies inside disk (a negative radius
+// disables the spatial constraint). This is the greedy pick of the
+// approximation algorithms: cover the next uncovered keyword with the
+// object closest to the current distance owner.
+func (t *Tree) NNCoveringInDisk(p geo.Point, qi *kwds.QueryIndex, need kwds.Mask, disk geo.Circle) (*dataset.Object, float64, bool) {
+	if need == 0 {
+		return nil, 0, false
+	}
+	h := pqueue.New[nnHeapItem](64)
+	root := t.rt.Root()
+	if containsAnyNeeded(t.nodeKw[root.NodeID], qi, need) {
+		h.Push(nnHeapItem{node: root}, root.Rect.MinDist(p))
+	}
+	for !h.Empty() {
+		item, pri := h.Pop()
+		if item.node == nil {
+			return t.ds.Object(item.obj), pri, true
+		}
+		n := item.node
+		if n.Leaf {
+			for _, e := range n.Entries {
+				o := t.ds.Object(dataset.ObjectID(e.ID))
+				if qi.MaskOf(o.Keywords)&need == 0 {
+					continue
+				}
+				if disk.R >= 0 && !disk.ContainsPoint(o.Loc) {
+					continue
+				}
+				h.Push(nnHeapItem{obj: o.ID}, p.Dist(o.Loc))
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if !containsAnyNeeded(t.nodeKw[c.NodeID], qi, need) {
+				continue
+			}
+			if disk.R >= 0 && !disk.IntersectsRect(c.Rect) {
+				continue
+			}
+			h.Push(nnHeapItem{node: c}, c.Rect.MinDist(p))
+		}
+	}
+	return nil, 0, false
+}
+
+// KeywordNNIterator yields the objects containing one fixed keyword in
+// ascending distance from a fixed point. The Cao baselines iterate the
+// objects of the farthest-NN keyword this way.
+type KeywordNNIterator struct {
+	t  *Tree
+	p  geo.Point
+	kw kwds.ID
+	h  *pqueue.Queue[nnHeapItem]
+}
+
+// NewKeywordNNIterator returns an iterator over objects containing kw,
+// ascending by distance from p.
+func (t *Tree) NewKeywordNNIterator(p geo.Point, kw kwds.ID) *KeywordNNIterator {
+	it := &KeywordNNIterator{t: t, p: p, kw: kw, h: pqueue.New[nnHeapItem](64)}
+	root := t.rt.Root()
+	if t.nodeKw[root.NodeID].Contains(kw) {
+		it.h.Push(nnHeapItem{node: root}, root.Rect.MinDist(p))
+	}
+	return it
+}
+
+// Next returns the next object containing the keyword and its distance
+// from the iterator's point, or ok=false when exhausted.
+func (it *KeywordNNIterator) Next() (*dataset.Object, float64, bool) {
+	for !it.h.Empty() {
+		item, pri := it.h.Pop()
+		if item.node == nil {
+			return it.t.ds.Object(item.obj), pri, true
+		}
+		n := item.node
+		if n.Leaf {
+			for _, e := range n.Entries {
+				o := it.t.ds.Object(dataset.ObjectID(e.ID))
+				if !o.Keywords.Contains(it.kw) {
+					continue
+				}
+				it.h.Push(nnHeapItem{obj: o.ID}, it.p.Dist(o.Loc))
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if !it.t.nodeKw[c.NodeID].Contains(it.kw) {
+				continue
+			}
+			it.h.Push(nnHeapItem{node: c}, c.Rect.MinDist(it.p))
+		}
+	}
+	return nil, 0, false
+}
+
+// TreeStats summarizes the index structure: node counts, height, and the
+// size of the keyword-union annotations (the IR-tree's "inverted file"
+// payload). Useful for the memory-residency accounting the paper's
+// evaluation assumes.
+type TreeStats struct {
+	Objects       int
+	Nodes         int
+	Height        int
+	KeywordUnions int // Σ over nodes of the subtree keyword-union lengths
+}
+
+// Stats walks the tree once and reports structural statistics.
+func (t *Tree) Stats() TreeStats {
+	s := TreeStats{Objects: t.rt.Len(), Height: t.rt.Height()}
+	var rec func(n *rtree.Node)
+	rec = func(n *rtree.Node) {
+		s.Nodes++
+		s.KeywordUnions += len(t.nodeKw[n.NodeID])
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.rt.Root())
+	return s
+}
+
+// containsAll reports whether the node's subtree contains every query
+// keyword (necessary condition for any single object below to cover all).
+func containsAll(nodeKw kwds.Set, query kwds.Set) bool {
+	for _, id := range query {
+		if !nodeKw.Contains(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// BooleanKNN answers the classic boolean kNN spatial keyword query of the
+// related literature: the k objects nearest to p whose keyword sets cover
+// ALL of query, ascending by distance (fewer when fewer exist). Node
+// descent requires the subtree union to contain every query keyword.
+func (t *Tree) BooleanKNN(p geo.Point, query kwds.Set, k int) []dataset.ObjectID {
+	if k <= 0 {
+		return nil
+	}
+	h := pqueue.New[nnHeapItem](64)
+	root := t.rt.Root()
+	if containsAll(t.nodeKw[root.NodeID], query) {
+		h.Push(nnHeapItem{node: root}, root.Rect.MinDist(p))
+	}
+	out := make([]dataset.ObjectID, 0, k)
+	for !h.Empty() && len(out) < k {
+		item, _ := h.Pop()
+		if item.node == nil {
+			out = append(out, item.obj)
+			continue
+		}
+		n := item.node
+		if n.Leaf {
+			for _, e := range n.Entries {
+				o := t.ds.Object(dataset.ObjectID(e.ID))
+				if !o.Keywords.Covers(query) {
+					continue
+				}
+				h.Push(nnHeapItem{obj: o.ID}, p.Dist(o.Loc))
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if !containsAll(t.nodeKw[c.NodeID], query) {
+				continue
+			}
+			h.Push(nnHeapItem{node: c}, c.Rect.MinDist(p))
+		}
+	}
+	return out
+}

@@ -1,0 +1,349 @@
+package irtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+	"coskq/internal/rtree"
+)
+
+// genDataset builds a random dataset with vocab words w0..w{vocab-1}.
+func genDataset(rng *rand.Rand, n, vocab, maxKw int) *dataset.Dataset {
+	b := dataset.NewBuilder("gen")
+	words := make([]kwds.ID, vocab)
+	for i := range words {
+		words[i] = b.Vocab().Intern(word(i))
+	}
+	for i := 0; i < n; i++ {
+		k := 1 + rng.Intn(maxKw)
+		ids := make([]kwds.ID, k)
+		for j := range ids {
+			ids[j] = words[rng.Intn(vocab)]
+		}
+		b.AddIDs(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, kwds.NewSet(ids...))
+	}
+	return b.Build()
+}
+
+func word(i int) string {
+	return "w" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+}
+
+// bruteNN is the linear-scan oracle for keyword NN.
+func bruteNN(ds *dataset.Dataset, p geo.Point, kw kwds.ID, disk *geo.Circle) (dataset.ObjectID, float64, bool) {
+	best, bestD, found := dataset.ObjectID(0), math.Inf(1), false
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		if !o.Keywords.Contains(kw) {
+			continue
+		}
+		if disk != nil && !disk.ContainsPoint(o.Loc) {
+			continue
+		}
+		if d := p.Dist(o.Loc); d < bestD {
+			best, bestD, found = o.ID, d, true
+		}
+	}
+	return best, bestD, found
+}
+
+func TestBuildAnnotations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ds := genDataset(rng, 500, 20, 4)
+	tr := Build(ds, 8)
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Root keyword union must cover every object's keywords.
+	rootKw := tr.NodeKeywords(tr.Root().NodeID)
+	for i := range ds.Objects {
+		if !rootKw.Covers(ds.Objects[i].Keywords) {
+			t.Fatalf("root union misses keywords of object %d", i)
+		}
+	}
+	// Every node's union must exactly equal the union of its children
+	// (or of its objects, at leaves).
+	var rec func(n *rtree.Node)
+	rec = func(n *rtree.Node) {
+		var parts kwds.Set
+		if n.Leaf {
+			for _, e := range n.Entries {
+				parts = parts.Union(ds.Object(dataset.ObjectID(e.ID)).Keywords)
+			}
+		} else {
+			for _, c := range n.Children {
+				parts = parts.Union(tr.NodeKeywords(c.NodeID))
+				rec(c)
+			}
+		}
+		if !tr.NodeKeywords(n.NodeID).Equal(parts) {
+			t.Fatalf("node %d union %v != recomputed %v", n.NodeID, tr.NodeKeywords(n.NodeID), parts)
+		}
+	}
+	rec(tr.Root())
+}
+
+func TestNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ds := genDataset(rng, 2000, 40, 5)
+	tr := Build(ds, 16)
+	for trial := 0; trial < 200; trial++ {
+		p := geo.Point{X: rng.Float64() * 1100, Y: rng.Float64() * 1100}
+		kw := kwds.ID(rng.Intn(40))
+		wantID, wantD, wantOK := bruteNN(ds, p, kw, nil)
+		gotID, gotD, gotOK := tr.NN(p, kw)
+		if gotOK != wantOK {
+			t.Fatalf("NN ok mismatch for kw %d", kw)
+		}
+		if !wantOK {
+			continue
+		}
+		if math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("NN dist %v, want %v (ids %d vs %d)", gotD, wantD, gotID, wantID)
+		}
+	}
+}
+
+func TestNNMissingKeyword(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ds := genDataset(rng, 100, 10, 3)
+	tr := Build(ds, 8)
+	if _, _, ok := tr.NN(geo.Point{}, kwds.ID(999)); ok {
+		t.Fatal("NN of absent keyword should report !ok")
+	}
+}
+
+func TestNNInDiskMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ds := genDataset(rng, 2000, 30, 5)
+	tr := Build(ds, 16)
+	for trial := 0; trial < 200; trial++ {
+		p := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		center := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		disk := geo.Circle{C: center, R: rng.Float64() * 300}
+		kw := kwds.ID(rng.Intn(30))
+		wantID, wantD, wantOK := bruteNN(ds, p, kw, &disk)
+		gotID, gotD, gotOK := tr.NNInDisk(p, kw, disk)
+		if gotOK != wantOK {
+			t.Fatalf("NNInDisk ok = %v, want %v", gotOK, wantOK)
+		}
+		if wantOK && math.Abs(gotD-wantD) > 1e-9 {
+			t.Fatalf("NNInDisk dist %v, want %v (ids %d vs %d)", gotD, wantD, gotID, wantID)
+		}
+	}
+}
+
+func TestNNSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ds := genDataset(rng, 1000, 25, 4)
+	tr := Build(ds, 16)
+	p := geo.Point{X: 500, Y: 500}
+	query := kwds.NewSet(0, 3, 7, 12)
+	got, ok := tr.NNSet(p, query)
+	if !ok {
+		t.Fatal("NNSet should succeed on present keywords")
+	}
+	// The union of the result must cover the query and each member must be
+	// the true NN of at least one keyword.
+	var union kwds.Set
+	for _, id := range got {
+		union = union.Union(ds.Object(id).Keywords)
+	}
+	if !union.Covers(query) {
+		t.Fatal("NNSet result does not cover the query")
+	}
+	for _, kw := range query {
+		wantID, wantD, _ := bruteNN(ds, p, kw, nil)
+		found := false
+		for _, id := range got {
+			if ds.Object(id).Keywords.Contains(kw) && math.Abs(p.Dist(ds.Object(id).Loc)-wantD) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("keyword %d not covered at NN distance (brute NN %d at %v)", kw, wantID, wantD)
+		}
+	}
+	// Infeasible query.
+	if _, ok := tr.NNSet(p, kwds.NewSet(0, 999)); ok {
+		t.Fatal("NNSet with absent keyword should fail")
+	}
+}
+
+func TestRelevantInDiskMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ds := genDataset(rng, 3000, 50, 5)
+	tr := Build(ds, 16)
+	for trial := 0; trial < 50; trial++ {
+		query := kwds.NewSet(kwds.ID(rng.Intn(50)), kwds.ID(rng.Intn(50)), kwds.ID(rng.Intn(50)))
+		qi := kwds.NewQueryIndex(query)
+		disk := geo.Circle{C: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, R: rng.Float64() * 250}
+
+		want := map[dataset.ObjectID]kwds.Mask{}
+		for i := range ds.Objects {
+			o := &ds.Objects[i]
+			if disk.ContainsPoint(o.Loc) {
+				if m := qi.MaskOf(o.Keywords); m != 0 {
+					want[o.ID] = m
+				}
+			}
+		}
+		got := map[dataset.ObjectID]kwds.Mask{}
+		tr.RelevantInDisk(disk, qi, func(o *dataset.Object, m kwds.Mask) bool {
+			got[o.ID] = m
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: got %d relevant, want %d", trial, len(got), len(want))
+		}
+		for id, m := range want {
+			if got[id] != m {
+				t.Fatalf("trial %d: object %d mask %b, want %b", trial, id, got[id], m)
+			}
+		}
+	}
+}
+
+func TestRelevantInRingMatchesScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ds := genDataset(rng, 3000, 50, 5)
+	tr := Build(ds, 16)
+	for trial := 0; trial < 50; trial++ {
+		query := kwds.NewSet(kwds.ID(rng.Intn(50)), kwds.ID(rng.Intn(50)))
+		qi := kwds.NewQueryIndex(query)
+		rmin := rng.Float64() * 200
+		ring := geo.Ring{C: geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, RMin: rmin, RMax: rmin + rng.Float64()*200}
+
+		want := 0
+		for i := range ds.Objects {
+			o := &ds.Objects[i]
+			if ring.ContainsPoint(o.Loc) && qi.MaskOf(o.Keywords) != 0 {
+				want++
+			}
+		}
+		got := 0
+		tr.RelevantInRing(ring, qi, func(o *dataset.Object, m kwds.Mask) bool {
+			if !ring.ContainsPoint(o.Loc) {
+				t.Fatal("object outside ring delivered")
+			}
+			got++
+			return true
+		})
+		if got != want {
+			t.Fatalf("trial %d: got %d, want %d", trial, got, want)
+		}
+	}
+}
+
+func TestRelevantEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ds := genDataset(rng, 1000, 10, 3)
+	tr := Build(ds, 8)
+	qi := kwds.NewQueryIndex(kwds.NewSet(0, 1, 2))
+	n := 0
+	tr.RelevantInDisk(geo.Circle{C: geo.Point{X: 500, Y: 500}, R: 1e9}, qi, func(*dataset.Object, kwds.Mask) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestRelevantNNIteratorOrderAndCompleteness(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ds := genDataset(rng, 1500, 40, 4)
+	tr := Build(ds, 16)
+	query := kwds.NewSet(1, 5, 9)
+	qi := kwds.NewQueryIndex(query)
+	p := geo.Point{X: 300, Y: 700}
+
+	want := map[dataset.ObjectID]bool{}
+	for i := range ds.Objects {
+		if qi.MaskOf(ds.Objects[i].Keywords) != 0 {
+			want[ds.Objects[i].ID] = true
+		}
+	}
+
+	it := tr.NewRelevantNNIterator(p, qi)
+	prev := -1.0
+	got := map[dataset.ObjectID]bool{}
+	for {
+		o, d, ok := it.Next()
+		if !ok {
+			break
+		}
+		if d < prev-1e-12 {
+			t.Fatalf("distances not ascending: %v after %v", d, prev)
+		}
+		if math.Abs(d-p.Dist(o.Loc)) > 1e-9 {
+			t.Fatal("reported distance wrong")
+		}
+		if qi.MaskOf(o.Keywords) == 0 {
+			t.Fatal("irrelevant object yielded")
+		}
+		prev = d
+		got[o.ID] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("iterator yielded %d of %d relevant objects", len(got), len(want))
+	}
+}
+
+func TestEmptyDatasetTree(t *testing.T) {
+	ds := dataset.NewBuilder("empty").Build()
+	tr := Build(ds, 8)
+	if _, _, ok := tr.NN(geo.Point{}, 0); ok {
+		t.Fatal("NN on empty tree should fail")
+	}
+	qi := kwds.NewQueryIndex(kwds.NewSet(0))
+	it := tr.NewRelevantNNIterator(geo.Point{}, qi)
+	if _, _, ok := it.Next(); ok {
+		t.Fatal("iterator on empty tree should be exhausted")
+	}
+}
+
+func BenchmarkBuild10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ds := genDataset(rng, 10000, 200, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(ds, 0)
+	}
+}
+
+func BenchmarkKeywordNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ds := genDataset(rng, 100000, 500, 6)
+	tr := Build(ds, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.NN(geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}, kwds.ID(i%500))
+	}
+}
+
+func TestTreeStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	ds := genDataset(rng, 1000, 30, 4)
+	tr := Build(ds, 8)
+	s := tr.Stats()
+	if s.Objects != 1000 {
+		t.Fatalf("Objects = %d", s.Objects)
+	}
+	if s.Height != tr.Height() || s.Height < 2 {
+		t.Fatalf("Height = %d", s.Height)
+	}
+	if s.Nodes < 1000/8 {
+		t.Fatalf("Nodes = %d seems too small", s.Nodes)
+	}
+	// Root union alone contributes its length; totals must be at least
+	// the root's and at most nodes × vocab.
+	root := len(tr.NodeKeywords(tr.Root().NodeID))
+	if s.KeywordUnions < root || s.KeywordUnions > s.Nodes*30 {
+		t.Fatalf("KeywordUnions = %d (root %d, nodes %d)", s.KeywordUnions, root, s.Nodes)
+	}
+}

@@ -1,0 +1,101 @@
+package kwds
+
+import (
+	"testing"
+)
+
+// decodeSets splits raw bytes into two keyword sets — the fuzz corpus
+// encoding for binary set operations.
+func decodeSets(data []byte) (Set, Set) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	split := int(data[0]) % (len(data) + 1)
+	toSet := func(bs []byte) Set {
+		ids := make([]ID, len(bs))
+		for i, b := range bs {
+			ids[i] = ID(b % 64)
+		}
+		return NewSet(ids...)
+	}
+	rest := data[1:]
+	if split > len(rest) {
+		split = len(rest)
+	}
+	return toSet(rest[:split]), toSet(rest[split:])
+}
+
+// FuzzSetAlgebra cross-checks the sorted-slice set operations against a
+// map-based model on arbitrary inputs.
+func FuzzSetAlgebra(f *testing.F) {
+	f.Add([]byte{3, 1, 2, 3, 2, 5})
+	f.Add([]byte{0})
+	f.Add([]byte{10, 63, 63, 63, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, b := decodeSets(data)
+
+		ma, mb := map[ID]bool{}, map[ID]bool{}
+		for _, id := range a {
+			ma[id] = true
+		}
+		for _, id := range b {
+			mb[id] = true
+		}
+
+		union := a.Union(b)
+		for _, id := range union {
+			if !ma[id] && !mb[id] {
+				t.Fatalf("union contains foreign id %d", id)
+			}
+		}
+		if union.Len() != lenUnion(ma, mb) {
+			t.Fatalf("union size %d, want %d", union.Len(), lenUnion(ma, mb))
+		}
+		inter := a.Intersect(b)
+		for _, id := range inter {
+			if !ma[id] || !mb[id] {
+				t.Fatalf("intersection contains foreign id %d", id)
+			}
+		}
+		diff := a.Subtract(b)
+		for _, id := range diff {
+			if !ma[id] || mb[id] {
+				t.Fatalf("difference wrong for id %d", id)
+			}
+		}
+		if a.Union(b).Len() != a.Len()+b.Len()-inter.Len() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+		if got := union.Covers(a) && union.Covers(b); !got {
+			t.Fatal("union must cover both operands")
+		}
+		if a.Covers(b) != (b.Subtract(a).Len() == 0) {
+			t.Fatal("covers vs subtract inconsistent")
+		}
+		if a.Intersects(b) != (inter.Len() > 0) {
+			t.Fatal("intersects vs intersection inconsistent")
+		}
+
+		// Query-mask path agrees with set intersection.
+		if a.Len() <= MaxQueryKeywords {
+			qi := NewQueryIndex(a)
+			if qi.MaskOf(b).Count() != inter.Len() {
+				t.Fatal("MaskOf disagrees with Intersect")
+			}
+			if qi.Uncovered(qi.MaskOf(b)).Len() != a.Len()-inter.Len() {
+				t.Fatal("Uncovered size wrong")
+			}
+		}
+	})
+}
+
+func lenUnion(a, b map[ID]bool) int {
+	u := map[ID]bool{}
+	for id := range a {
+		u[id] = true
+	}
+	for id := range b {
+		u[id] = true
+	}
+	return len(u)
+}

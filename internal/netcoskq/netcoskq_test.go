@@ -1,0 +1,231 @@
+package netcoskq
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/core"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+	"coskq/internal/roadnet"
+)
+
+// genInstance builds a random road network with objects on random nodes.
+func genInstance(rng *rand.Rand, rows, cols, nObjects, vocab, maxKw int) (*Engine, *roadnet.Graph) {
+	g := roadnet.GenerateGrid(rows, cols, 10, 0.2, rows, rng.Int63())
+	objs := make([]Object, nObjects)
+	for i := range objs {
+		k := 1 + rng.Intn(maxKw)
+		ids := make([]kwds.ID, k)
+		for j := range ids {
+			ids[j] = kwds.ID(rng.Intn(vocab))
+		}
+		objs[i] = Object{
+			Node:     roadnet.NodeID(rng.Intn(g.NumNodes())),
+			Keywords: kwds.NewSet(ids...),
+		}
+	}
+	e, err := NewEngine(g, objs)
+	if err != nil {
+		panic(err)
+	}
+	return e, g
+}
+
+func randNetQuery(rng *rand.Rand, g *roadnet.Graph, vocab, nkw int) Query {
+	ids := make([]kwds.ID, nkw)
+	for i := range ids {
+		ids[i] = kwds.ID(rng.Intn(vocab))
+	}
+	return Query{
+		Node:     roadnet.NodeID(rng.Intn(g.NumNodes())),
+		Keywords: kwds.NewSet(ids...),
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	g := roadnet.GenerateGrid(2, 2, 1, 0, 0, 1)
+	if _, err := NewEngine(g, []Object{{Node: 99, Keywords: kwds.NewSet(1)}}); err == nil {
+		t.Fatal("out-of-range object node should be rejected")
+	}
+	if _, err := NewEngine(g, nil); err != nil {
+		t.Fatalf("empty object list should be fine: %v", err)
+	}
+}
+
+func TestInfeasibleNetworkQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e, g := genInstance(rng, 4, 4, 30, 8, 3)
+	q := Query{Node: roadnet.NodeID(0), Keywords: kwds.NewSet(999)}
+	_ = g
+	for _, f := range []func(Query, core.CostKind) (Result, error){e.Exact, e.Appro, e.Brute} {
+		if _, err := f(q, core.MaxSum); err != ErrInfeasible {
+			t.Fatalf("err = %v, want ErrInfeasible", err)
+		}
+	}
+}
+
+// TestNetworkExactMatchesBruteForce: the owner-driven search stays exact
+// under shortest-path distances.
+func TestNetworkExactMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 60; trial++ {
+		e, g := genInstance(rng, 4+rng.Intn(3), 4+rng.Intn(3), 15+rng.Intn(25), 7, 3)
+		q := randNetQuery(rng, g, 7, 1+rng.Intn(3))
+		for _, cost := range []core.CostKind{core.MaxSum, core.Dia} {
+			want, err := e.Brute(q, cost)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.Exact(q, cost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Cost-want.Cost) > 1e-9 {
+				t.Fatalf("trial %d %v: exact %v, optimal %v (sets %v vs %v)",
+					trial, cost, got.Cost, want.Cost, got.Objects, want.Objects)
+			}
+		}
+	}
+}
+
+// TestNetworkApproRatio2: the generic-metric ratio bound of 2.
+func TestNetworkApproRatio2(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		e, g := genInstance(rng, 5, 5, 20+rng.Intn(30), 8, 3)
+		q := randNetQuery(rng, g, 8, 1+rng.Intn(3))
+		for _, cost := range []core.CostKind{core.MaxSum, core.Dia} {
+			opt, err := e.Brute(q, cost)
+			if err == ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := e.Appro(q, cost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost < opt.Cost-1e-9 {
+				t.Fatalf("appro %v below optimum %v", res.Cost, opt.Cost)
+			}
+			if opt.Cost > 0 && res.Cost/opt.Cost > 2+1e-9 {
+				t.Fatalf("trial %d %v: network appro ratio %v exceeds 2", trial, cost, res.Cost/opt.Cost)
+			}
+			// Feasibility.
+			var u kwds.Set
+			for _, idx := range res.Objects {
+				u = u.Union(e.Objects[idx].Keywords)
+			}
+			if !u.Covers(q.Keywords) {
+				t.Fatal("appro returned infeasible set")
+			}
+		}
+	}
+}
+
+// TestNetworkVsEuclidean: network costs dominate Euclidean costs for the
+// same instance (edges are at least as long as straight lines).
+func TestNetworkVsEuclidean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e, g := genInstance(rng, 6, 6, 40, 8, 3)
+	for trial := 0; trial < 20; trial++ {
+		q := randNetQuery(rng, g, 8, 2)
+		net, err := e.Exact(q, core.MaxSum)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Euclidean cost of the same set from the same location.
+		qp := g.Point(q.Node)
+		maxD, maxPair := 0.0, 0.0
+		for i, a := range net.Objects {
+			pa := g.Point(e.Objects[a].Node)
+			if d := qp.Dist(pa); d > maxD {
+				maxD = d
+			}
+			for _, b := range net.Objects[i+1:] {
+				if d := pa.Dist(g.Point(e.Objects[b].Node)); d > maxPair {
+					maxPair = d
+				}
+			}
+		}
+		if net.Cost < maxD+maxPair-1e-9 {
+			t.Fatalf("network cost %v below Euclidean cost %v of the same set", net.Cost, maxD+maxPair)
+		}
+	}
+}
+
+func TestUnreachableObjectsExcluded(t *testing.T) {
+	// Two components: the query can only be served by its own component.
+	g := &roadnet.Graph{}
+	a0 := g.AddNode(pt(0, 0))
+	a1 := g.AddNode(pt(1, 0))
+	b0 := g.AddNode(pt(100, 0))
+	if err := g.AddEdge(a0, a1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// b0 is isolated.
+	objs := []Object{
+		{Node: a1, Keywords: kwds.NewSet(1)},
+		{Node: b0, Keywords: kwds.NewSet(1, 2)},
+	}
+	e, err := NewEngine(g, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keyword 1 is reachable via object 0; keyword 2 only exists in the
+	// unreachable component → infeasible.
+	if _, err := e.Exact(Query{Node: a0, Keywords: kwds.NewSet(1)}, core.MaxSum); err != nil {
+		t.Fatalf("reachable query failed: %v", err)
+	}
+	if _, err := e.Exact(Query{Node: a0, Keywords: kwds.NewSet(1, 2)}, core.MaxSum); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestEvalCostPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e, g := genInstance(rng, 3, 3, 10, 5, 2)
+	q := Query{Node: roadnet.NodeID(0), Keywords: kwds.NewSet(0)}
+	_ = g
+	for _, bad := range []func(){
+		func() { e.EvalCost(core.MaxSum, q, nil) },
+		func() { e.EvalCost(core.Sum, q, []int{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestClearCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	e, g := genInstance(rng, 4, 4, 20, 6, 2)
+	q := randNetQuery(rng, g, 6, 2)
+	before, err1 := e.Exact(q, core.MaxSum)
+	e.ClearCache()
+	after, err2 := e.Exact(q, core.MaxSum)
+	if (err1 == nil) != (err2 == nil) {
+		t.Fatal("feasibility changed across ClearCache")
+	}
+	if err1 == nil && before.Cost != after.Cost {
+		t.Fatal("answers changed across ClearCache")
+	}
+}
+
+func pt(x, y float64) geo.Point {
+	return geo.Point{X: x, Y: y}
+}

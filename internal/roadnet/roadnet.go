@@ -1,0 +1,167 @@
+// Package roadnet provides the road-network substrate for the CoSKQ
+// road-network extension (the paper's stated future work: "extend CoSKQ
+// ... to other distance metrics such as road networks"): an undirected
+// weighted graph with planar node coordinates, Dijkstra single-source
+// shortest paths, and a perturbed-grid network generator that stands in
+// for real road maps.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"coskq/internal/geo"
+	"coskq/internal/pqueue"
+)
+
+// NodeID identifies a graph node (dense, assigned by AddNode).
+type NodeID uint32
+
+// edge is one adjacency entry.
+type edge struct {
+	to NodeID
+	w  float64
+}
+
+// Graph is an undirected weighted graph embedded in the plane. The zero
+// value is an empty graph ready for AddNode/AddEdge.
+type Graph struct {
+	pts      []geo.Point
+	adj      [][]edge
+	numEdges int
+}
+
+// AddNode adds a node at p and returns its id.
+func (g *Graph) AddNode(p geo.Point) NodeID {
+	id := NodeID(len(g.pts))
+	g.pts = append(g.pts, p)
+	g.adj = append(g.adj, nil)
+	return id
+}
+
+// AddEdge connects a and b with weight w; a negative w means "use the
+// Euclidean distance between the endpoints". Self-loops and out-of-range
+// ids are rejected.
+func (g *Graph) AddEdge(a, b NodeID, w float64) error {
+	if int(a) >= len(g.pts) || int(b) >= len(g.pts) {
+		return fmt.Errorf("roadnet: edge endpoint out of range (%d, %d of %d nodes)", a, b, len(g.pts))
+	}
+	if a == b {
+		return fmt.Errorf("roadnet: self-loop on node %d", a)
+	}
+	if w < 0 {
+		w = g.pts[a].Dist(g.pts[b])
+	}
+	g.adj[a] = append(g.adj[a], edge{to: b, w: w})
+	g.adj[b] = append(g.adj[b], edge{to: a, w: w})
+	g.numEdges++
+	return nil
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.pts) }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Point returns the planar coordinate of node id.
+func (g *Graph) Point(id NodeID) geo.Point { return g.pts[id] }
+
+// Degree returns the number of edges incident to id.
+func (g *Graph) Degree(id NodeID) int { return len(g.adj[id]) }
+
+// ShortestFrom computes single-source shortest path distances from src
+// with Dijkstra's algorithm. Unreachable nodes get +Inf. The returned
+// slice is freshly allocated.
+func (g *Graph) ShortestFrom(src NodeID) []float64 {
+	dist := make([]float64, len(g.pts))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if int(src) >= len(g.pts) {
+		return dist
+	}
+	dist[src] = 0
+	h := pqueue.New[NodeID](64)
+	h.Push(src, 0)
+	for !h.Empty() {
+		u, du := h.Pop()
+		if du > dist[u] {
+			continue // stale heap entry
+		}
+		for _, e := range g.adj[u] {
+			if nd := du + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				h.Push(e.to, nd)
+			}
+		}
+	}
+	return dist
+}
+
+// Nearest returns the node closest (Euclidean) to p; ok is false on an
+// empty graph. Linear scan — used to snap objects/queries onto the
+// network, not on query hot paths.
+func (g *Graph) Nearest(p geo.Point) (NodeID, bool) {
+	if len(g.pts) == 0 {
+		return 0, false
+	}
+	best, bestD := NodeID(0), math.Inf(1)
+	for i, pt := range g.pts {
+		if d := p.Dist2(pt); d < bestD {
+			best, bestD = NodeID(i), d
+		}
+	}
+	return best, true
+}
+
+// Connected reports whether every node is reachable from node 0
+// (vacuously true for the empty graph).
+func (g *Graph) Connected() bool {
+	if len(g.pts) == 0 {
+		return true
+	}
+	for _, d := range g.ShortestFrom(0) {
+		if math.IsInf(d, 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// GenerateGrid builds a rows×cols road grid with the given spacing: node
+// coordinates are jittered by ±jitter·spacing, all grid-neighbor edges are
+// present with Euclidean weights, and extraEdges random "diagonal"
+// shortcuts are added. The result is connected by construction.
+func GenerateGrid(rows, cols int, spacing, jitter float64, extraEdges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{}
+	id := func(r, c int) NodeID { return NodeID(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			g.AddNode(geo.Point{
+				X: float64(c)*spacing + (rng.Float64()*2-1)*jitter*spacing,
+				Y: float64(r)*spacing + (rng.Float64()*2-1)*jitter*spacing,
+			})
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				_ = g.AddEdge(id(r, c), id(r, c+1), -1)
+			}
+			if r+1 < rows {
+				_ = g.AddEdge(id(r, c), id(r+1, c), -1)
+			}
+		}
+	}
+	for i := 0; i < extraEdges; i++ {
+		a := NodeID(rng.Intn(g.NumNodes()))
+		b := NodeID(rng.Intn(g.NumNodes()))
+		if a != b {
+			_ = g.AddEdge(a, b, -1)
+		}
+	}
+	return g
+}

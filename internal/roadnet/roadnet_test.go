@@ -1,0 +1,207 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/geo"
+)
+
+// line builds a path graph 0-1-2-...-(n-1) with unit edges.
+func line(n int) *Graph {
+	g := &Graph{}
+	for i := 0; i < n; i++ {
+		g.AddNode(geo.Point{X: float64(i), Y: 0})
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(NodeID(i), NodeID(i+1), 1); err != nil {
+			panic(err)
+		}
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := line(5)
+	if g.NumNodes() != 5 || g.NumEdges() != 4 {
+		t.Fatalf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatal("degrees wrong")
+	}
+	if g.Point(3) != (geo.Point{X: 3, Y: 0}) {
+		t.Fatal("Point wrong")
+	}
+	if err := g.AddEdge(0, 0, 1); err == nil {
+		t.Fatal("self-loop should be rejected")
+	}
+	if err := g.AddEdge(0, 99, 1); err == nil {
+		t.Fatal("out-of-range edge should be rejected")
+	}
+}
+
+func TestShortestFromLine(t *testing.T) {
+	g := line(6)
+	d := g.ShortestFrom(2)
+	want := []float64{2, 1, 0, 1, 2, 3}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("d[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+}
+
+func TestShortestUnreachable(t *testing.T) {
+	g := &Graph{}
+	a := g.AddNode(geo.Point{})
+	g.AddNode(geo.Point{X: 1})
+	d := g.ShortestFrom(a)
+	if d[0] != 0 || !math.IsInf(d[1], 1) {
+		t.Fatalf("d = %v", d)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestEuclideanWeights(t *testing.T) {
+	g := &Graph{}
+	a := g.AddNode(geo.Point{X: 0, Y: 0})
+	b := g.AddNode(geo.Point{X: 3, Y: 4})
+	if err := g.AddEdge(a, b, -1); err != nil {
+		t.Fatal(err)
+	}
+	if d := g.ShortestFrom(a); d[b] != 5 {
+		t.Fatalf("Euclidean edge weight = %v, want 5", d[b])
+	}
+}
+
+// Dijkstra against Floyd–Warshall on random graphs.
+func TestDijkstraMatchesFloydWarshall(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(30)
+		g := &Graph{}
+		for i := 0; i < n; i++ {
+			g.AddNode(geo.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10})
+		}
+		// Random edges with random positive weights.
+		fw := make([][]float64, n)
+		for i := range fw {
+			fw[i] = make([]float64, n)
+			for j := range fw[i] {
+				if i != j {
+					fw[i][j] = math.Inf(1)
+				}
+			}
+		}
+		m := rng.Intn(3 * n)
+		for k := 0; k < m; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			w := rng.Float64()*9 + 0.1
+			if err := g.AddEdge(NodeID(a), NodeID(b), w); err != nil {
+				t.Fatal(err)
+			}
+			if w < fw[a][b] {
+				fw[a][b], fw[b][a] = w, w
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if fw[i][k]+fw[k][j] < fw[i][j] {
+						fw[i][j] = fw[i][k] + fw[k][j]
+					}
+				}
+			}
+		}
+		for src := 0; src < n; src++ {
+			d := g.ShortestFrom(NodeID(src))
+			for v := 0; v < n; v++ {
+				if math.IsInf(d[v], 1) != math.IsInf(fw[src][v], 1) {
+					t.Fatalf("trial %d: reachability mismatch %d→%d", trial, src, v)
+				}
+				if !math.IsInf(d[v], 1) && math.Abs(d[v]-fw[src][v]) > 1e-9 {
+					t.Fatalf("trial %d: d(%d,%d) = %v, want %v", trial, src, v, d[v], fw[src][v])
+				}
+			}
+		}
+	}
+}
+
+// Network distance is a metric: symmetric and triangle inequality.
+func TestNetworkDistanceMetricProperties(t *testing.T) {
+	g := GenerateGrid(8, 8, 10, 0.2, 10, 5)
+	rng := rand.New(rand.NewSource(9))
+	n := g.NumNodes()
+	dists := make(map[NodeID][]float64)
+	dist := func(a NodeID) []float64 {
+		if d, ok := dists[a]; ok {
+			return d
+		}
+		d := g.ShortestFrom(a)
+		dists[a] = d
+		return d
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := NodeID(rng.Intn(n))
+		b := NodeID(rng.Intn(n))
+		c := NodeID(rng.Intn(n))
+		if math.Abs(dist(a)[b]-dist(b)[a]) > 1e-9 {
+			t.Fatalf("asymmetric: d(%d,%d)", a, b)
+		}
+		if dist(a)[c] > dist(a)[b]+dist(b)[c]+1e-9 {
+			t.Fatalf("triangle violated: %d %d %d", a, b, c)
+		}
+		// Network distance dominates Euclidean (edges are at least as
+		// long as straight lines).
+		if dist(a)[b] < g.Point(a).Dist(g.Point(b))-1e-9 {
+			t.Fatalf("network distance below Euclidean for %d %d", a, b)
+		}
+	}
+}
+
+func TestGenerateGrid(t *testing.T) {
+	g := GenerateGrid(5, 7, 10, 0.1, 4, 1)
+	if g.NumNodes() != 35 {
+		t.Fatalf("nodes = %d", g.NumNodes())
+	}
+	// 4 rows × 7 + 5 × 6 cols = 28 + 30 = 58 grid edges + up to 4 extra.
+	if g.NumEdges() < 58 || g.NumEdges() > 62 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if !g.Connected() {
+		t.Fatal("grid should be connected")
+	}
+	// Determinism.
+	g2 := GenerateGrid(5, 7, 10, 0.1, 4, 1)
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Point(NodeID(i)) != g2.Point(NodeID(i)) {
+			t.Fatal("grid generation not deterministic")
+		}
+	}
+}
+
+func TestNearest(t *testing.T) {
+	g := line(10)
+	id, ok := g.Nearest(geo.Point{X: 6.3, Y: 0.4})
+	if !ok || id != 6 {
+		t.Fatalf("Nearest = %v, %v", id, ok)
+	}
+	var empty Graph
+	if _, ok := empty.Nearest(geo.Point{}); ok {
+		t.Fatal("Nearest on empty graph should fail")
+	}
+}
+
+func BenchmarkDijkstraGrid100x100(b *testing.B) {
+	g := GenerateGrid(100, 100, 10, 0.2, 200, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ShortestFrom(NodeID(i % g.NumNodes()))
+	}
+}

@@ -1,0 +1,254 @@
+// Package server implements the HTTP/JSON query surface of coskq-server:
+// a thin, stateless handler over one prebuilt Engine. Queries are
+// read-only, so the handler serves concurrent requests safely.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"coskq/internal/core"
+	"coskq/internal/datagen"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+// New returns the HTTP handler serving /stats, /query and /topk over eng.
+func New(eng *core.Engine) http.Handler {
+	s := &server{eng: eng}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /query", s.handleQuery)
+	mux.HandleFunc("GET /topk", s.handleTopK)
+	return mux
+}
+
+type server struct {
+	eng *core.Engine
+}
+
+// jsonError writes a JSON error body with the given status.
+func jsonError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+type statsResponse struct {
+	Name        string  `json:"name"`
+	Objects     int     `json:"objects"`
+	UniqueWords int     `json:"uniqueWords"`
+	Words       int     `json:"words"`
+	AvgKeywords float64 `json:"avgKeywords"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.DS.Stats()
+	writeJSON(w, statsResponse{
+		Name:        s.eng.DS.Name,
+		Objects:     st.NumObjects,
+		UniqueWords: st.NumUniqueWords,
+		Words:       st.NumWords,
+		AvgKeywords: st.AvgKeywords,
+	})
+}
+
+type objectJSON struct {
+	ID       uint32   `json:"id"`
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	DistQ    float64  `json:"distToQuery"`
+	Keywords []string `json:"keywords"`
+}
+
+type queryResponse struct {
+	Cost      float64      `json:"cost"`
+	CostKind  string       `json:"costKind"`
+	Method    string       `json:"method"`
+	ElapsedMs float64      `json:"elapsedMs"`
+	Objects   []objectJSON `json:"objects"`
+}
+
+// parseQuery extracts the common query parameters (location, keywords,
+// cost) from the request.
+func (s *server) parseQuery(r *http.Request) (core.Query, core.CostKind, error) {
+	q := r.URL.Query()
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	if errX != nil || errY != nil {
+		return core.Query{}, 0, fmt.Errorf("x and y must be numbers")
+	}
+
+	var keywords kwds.Set
+	switch {
+	case q.Get("kw") != "":
+		var missing []string
+		for _, wrd := range strings.Split(q.Get("kw"), ",") {
+			wrd = strings.TrimSpace(wrd)
+			if id, ok := s.eng.DS.Vocab.Lookup(wrd); ok {
+				keywords = keywords.Union(kwds.NewSet(id))
+			} else {
+				missing = append(missing, wrd)
+			}
+		}
+		if len(missing) > 0 {
+			return core.Query{}, 0, fmt.Errorf("unknown keywords: %s", strings.Join(missing, ", "))
+		}
+	case q.Get("k") != "":
+		k, err := strconv.Atoi(q.Get("k"))
+		if err != nil || k <= 0 {
+			return core.Query{}, 0, fmt.Errorf("k must be a positive integer")
+		}
+		seed := int64(1)
+		if sv := q.Get("seed"); sv != "" {
+			if parsed, err := strconv.ParseInt(sv, 10, 64); err == nil {
+				seed = parsed
+			}
+		}
+		g := datagen.NewQueryGen(s.eng.DS, s.eng.Inv, 0, 40, seed)
+		_, keywords = g.Next(k)
+	default:
+		return core.Query{}, 0, fmt.Errorf("provide kw=a,b,c or k=N")
+	}
+
+	cost := core.MaxSum
+	if cs := q.Get("cost"); cs != "" {
+		var ok bool
+		cost, ok = costByName(cs)
+		if !ok {
+			return core.Query{}, 0, fmt.Errorf("unknown cost %q", cs)
+		}
+	}
+	return core.Query{Loc: geo.Point{X: x, Y: y}, Keywords: keywords}, cost, nil
+}
+
+func costByName(s string) (core.CostKind, bool) {
+	switch strings.ToLower(s) {
+	case "maxsum":
+		return core.MaxSum, true
+	case "dia":
+		return core.Dia, true
+	case "sum":
+		return core.Sum, true
+	case "minmax":
+		return core.MinMax, true
+	case "summax":
+		return core.SumMax, true
+	}
+	return 0, false
+}
+
+func methodByName(s string) (core.Method, bool) {
+	switch strings.ToLower(s) {
+	case "", "exact":
+		return core.OwnerExact, true
+	case "appro":
+		return core.OwnerAppro, true
+	case "cao-exact":
+		return core.CaoExact, true
+	case "cao-appro1":
+		return core.CaoAppro1, true
+	case "cao-appro2":
+		return core.CaoAppro2, true
+	case "greedy-sum":
+		return core.GreedySum, true
+	}
+	return 0, false
+}
+
+func (s *server) objectsJSON(q core.Query, ids []dataset.ObjectID) []objectJSON {
+	out := make([]objectJSON, len(ids))
+	for i, id := range ids {
+		o := s.eng.DS.Object(id)
+		words := make([]string, o.Keywords.Len())
+		for j, kid := range o.Keywords {
+			words[j] = s.eng.DS.Vocab.Word(kid)
+		}
+		out[i] = objectJSON{
+			ID: uint32(id), X: o.Loc.X, Y: o.Loc.Y,
+			DistQ:    q.Loc.Dist(o.Loc),
+			Keywords: words,
+		}
+	}
+	return out
+}
+
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q, cost, err := s.parseQuery(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	method, ok := methodByName(r.URL.Query().Get("method"))
+	if !ok {
+		jsonError(w, http.StatusBadRequest, "unknown method %q", r.URL.Query().Get("method"))
+		return
+	}
+	res, err := s.eng.Solve(q, cost, method)
+	switch {
+	case err == core.ErrInfeasible:
+		jsonError(w, http.StatusUnprocessableEntity, "query keywords cannot be covered")
+		return
+	case err != nil:
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, queryResponse{
+		Cost:      res.Cost,
+		CostKind:  cost.String(),
+		Method:    method.String(),
+		ElapsedMs: float64(res.Stats.Elapsed.Microseconds()) / 1000,
+		Objects:   s.objectsJSON(q, res.Set),
+	})
+}
+
+type topKResponse struct {
+	Results []queryResponse `json:"results"`
+}
+
+func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	q, cost, err := s.parseQuery(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if cost != core.MaxSum && cost != core.Dia {
+		jsonError(w, http.StatusBadRequest, "topk supports cost=maxsum and cost=dia")
+		return
+	}
+	n := 3
+	if nv := r.URL.Query().Get("n"); nv != "" {
+		n, err = strconv.Atoi(nv)
+		if err != nil || n <= 0 || n > 100 {
+			jsonError(w, http.StatusBadRequest, "n must be in [1, 100]")
+			return
+		}
+	}
+	results, err := s.eng.TopK(q, cost, n)
+	switch {
+	case err == core.ErrInfeasible:
+		jsonError(w, http.StatusUnprocessableEntity, "query keywords cannot be covered")
+		return
+	case err != nil:
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp := topKResponse{Results: make([]queryResponse, len(results))}
+	for i, res := range results {
+		resp.Results[i] = queryResponse{
+			Cost:     res.Cost,
+			CostKind: cost.String(),
+			Objects:  s.objectsJSON(q, res.Set),
+		}
+	}
+	writeJSON(w, resp)
+}

@@ -1,0 +1,123 @@
+// Package stats provides the small aggregation helpers the experiment
+// harness reports with: running accumulators for mean/min/max, ratio
+// summaries matching the paper's avg/min/max approximation-ratio bars,
+// and duration formatting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Acc is a running accumulator over float64 samples.
+type Acc struct {
+	n          int
+	sum        float64
+	min, max   float64
+	samples    []float64
+	keepSample bool
+}
+
+// NewAcc returns an empty accumulator. When keepSamples is true the
+// samples are retained so percentiles can be computed.
+func NewAcc(keepSamples bool) *Acc {
+	return &Acc{min: math.Inf(1), max: math.Inf(-1), keepSample: keepSamples}
+}
+
+// Add records one sample.
+func (a *Acc) Add(v float64) {
+	a.n++
+	a.sum += v
+	if v < a.min {
+		a.min = v
+	}
+	if v > a.max {
+		a.max = v
+	}
+	if a.keepSample {
+		a.samples = append(a.samples, v)
+	}
+}
+
+// N returns the number of samples.
+func (a *Acc) N() int { return a.n }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min returns the smallest sample (+Inf when empty).
+func (a *Acc) Min() float64 { return a.min }
+
+// Max returns the largest sample (-Inf when empty).
+func (a *Acc) Max() float64 { return a.max }
+
+// Percentile returns the p-th percentile (p in [0,100]) using
+// nearest-rank; it panics unless the accumulator keeps samples, and
+// returns 0 when empty.
+func (a *Acc) Percentile(p float64) float64 {
+	if !a.keepSample {
+		panic("stats: Percentile on accumulator without samples")
+	}
+	if len(a.samples) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), a.samples...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(p / 100 * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(s) {
+		rank = len(s)
+	}
+	return s[rank-1]
+}
+
+// FractionAtMost returns the fraction of samples ≤ v. The paper reports,
+// e.g., the share of queries whose approximation ratio is exactly 1.
+func (a *Acc) FractionAtMost(v float64) float64 {
+	if !a.keepSample {
+		panic("stats: FractionAtMost on accumulator without samples")
+	}
+	if len(a.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, s := range a.samples {
+		if s <= v {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.samples))
+}
+
+// String summarizes the accumulator.
+func (a *Acc) String() string {
+	if a.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g min=%.4g max=%.4g", a.n, a.Mean(), a.min, a.max)
+}
+
+// FmtDuration renders a duration the way the paper's log-scale runtime
+// plots are read: seconds with adaptive precision.
+func FmtDuration(d time.Duration) string {
+	s := d.Seconds()
+	switch {
+	case s >= 100:
+		return fmt.Sprintf("%.0fs", s)
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.3gms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3gµs", s*1e6)
+	}
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestAccBasics(t *testing.T) {
+	a := NewAcc(false)
+	if a.N() != 0 || a.Mean() != 0 {
+		t.Fatal("empty accumulator")
+	}
+	if !math.IsInf(a.Min(), 1) || !math.IsInf(a.Max(), -1) {
+		t.Fatal("empty min/max should be ±Inf")
+	}
+	for _, v := range []float64{2, 4, 6} {
+		a.Add(v)
+	}
+	if a.N() != 3 || a.Mean() != 4 || a.Min() != 2 || a.Max() != 6 {
+		t.Fatalf("acc = %v", a)
+	}
+	if a.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	a := NewAcc(true)
+	for i := 1; i <= 100; i++ {
+		a.Add(float64(i))
+	}
+	if got := a.Percentile(50); got != 50 {
+		t.Fatalf("P50 = %v", got)
+	}
+	if got := a.Percentile(100); got != 100 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if got := a.Percentile(0); got != 1 {
+		t.Fatalf("P0 = %v", got)
+	}
+	if got := a.Percentile(95); got != 95 {
+		t.Fatalf("P95 = %v", got)
+	}
+}
+
+func TestPercentileEmptyAndPanic(t *testing.T) {
+	if got := NewAcc(true).Percentile(50); got != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without samples")
+		}
+	}()
+	NewAcc(false).Percentile(50)
+}
+
+func TestFractionAtMost(t *testing.T) {
+	a := NewAcc(true)
+	for _, v := range []float64{1, 1, 1, 2, 3} {
+		a.Add(v)
+	}
+	if got := a.FractionAtMost(1); got != 0.6 {
+		t.Fatalf("FractionAtMost(1) = %v", got)
+	}
+	if got := a.FractionAtMost(10); got != 1 {
+		t.Fatalf("FractionAtMost(10) = %v", got)
+	}
+	if got := NewAcc(true).FractionAtMost(1); got != 0 {
+		t.Fatal("empty fraction should be 0")
+	}
+}
+
+func TestMeanMatchesDirectComputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAcc(false)
+	sum := 0.0
+	for i := 0; i < 1000; i++ {
+		v := rng.NormFloat64()
+		a.Add(v)
+		sum += v
+	}
+	if math.Abs(a.Mean()-sum/1000) > 1e-12 {
+		t.Fatal("mean drifted")
+	}
+}
+
+func TestFmtDuration(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{200 * time.Second, "200s"},
+		{1500 * time.Millisecond, "1.50s"},
+		{2 * time.Millisecond, "2ms"},
+		{150 * time.Microsecond, "150µs"},
+	}
+	for _, c := range cases {
+		if got := FmtDuration(c.d); got != c.want {
+			t.Errorf("FmtDuration(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

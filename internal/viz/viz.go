@@ -1,0 +1,158 @@
+// Package viz renders CoSKQ query answers as standalone SVG images:
+// the dataset's objects, the query location, the answer set with its
+// covering keywords, and the two cost circles (the query distance owner's
+// disk around q and the pairwise distance owners' span). Handy for
+// debugging pruning behaviour and for documentation figures; stdlib only.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"coskq/internal/core"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+)
+
+// Options controls the rendering.
+type Options struct {
+	// Width of the output image in pixels (height follows the data aspect
+	// ratio). 0 means 800.
+	Width int
+	// MaxBackground caps how many non-answer objects are drawn (dense
+	// datasets would otherwise produce megabyte SVGs). 0 means 4000.
+	MaxBackground int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.MaxBackground <= 0 {
+		o.MaxBackground = 4000
+	}
+	return o
+}
+
+// Render writes an SVG of the query and its answer over the engine's
+// dataset.
+func Render(w io.Writer, e *core.Engine, q core.Query, res core.Result, opt Options) error {
+	opt = opt.withDefaults()
+	ds := e.DS
+
+	// Frame: the dataset MBR extended to include the query, padded 5%.
+	frame := ds.MBR().ExtendPoint(q.Loc)
+	if frame.IsEmpty() {
+		frame = geo.RectFromPoint(q.Loc)
+	}
+	pad := 0.05 * math.Max(frame.Width(), frame.Height())
+	if pad == 0 {
+		pad = 1
+	}
+	frame = geo.Rect{
+		MinX: frame.MinX - pad, MinY: frame.MinY - pad,
+		MaxX: frame.MaxX + pad, MaxY: frame.MaxY + pad,
+	}
+
+	width := float64(opt.Width)
+	scale := width / frame.Width()
+	height := frame.Height() * scale
+	// SVG y grows downward; flip.
+	tx := func(p geo.Point) (float64, float64) {
+		return (p.X - frame.MinX) * scale, height - (p.Y-frame.MinY)*scale
+	}
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+
+	p(`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	p(`<rect width="100%%" height="100%%" fill="#ffffff"/>` + "\n")
+
+	// Background objects.
+	inAnswer := map[dataset.ObjectID]bool{}
+	for _, id := range res.Set {
+		inAnswer[id] = true
+	}
+	drawn := 0
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		if inAnswer[o.ID] {
+			continue
+		}
+		if drawn >= opt.MaxBackground {
+			break
+		}
+		x, y := tx(o.Loc)
+		p(`<circle cx="%.1f" cy="%.1f" r="1.2" fill="#c8c8c8"/>`+"\n", x, y)
+		drawn++
+	}
+
+	// Cost geometry: the owner disk C(q, maxD) and the pairwise span.
+	if len(res.Set) > 0 {
+		maxD := 0.0
+		var a, b dataset.ObjectID
+		maxPair := -1.0
+		for i, idA := range res.Set {
+			if d := q.Loc.Dist(ds.Object(idA).Loc); d > maxD {
+				maxD = d
+			}
+			for _, idB := range res.Set[i+1:] {
+				if d := ds.Object(idA).Loc.Dist(ds.Object(idB).Loc); d > maxPair {
+					maxPair, a, b = d, idA, idB
+				}
+			}
+		}
+		qx, qy := tx(q.Loc)
+		p(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="none" stroke="#4a90d9" stroke-width="1.5" stroke-dasharray="6 4"/>`+"\n",
+			qx, qy, maxD*scale)
+		if maxPair > 0 {
+			ax, ay := tx(ds.Object(a).Loc)
+			bx, by := tx(ds.Object(b).Loc)
+			p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d94a4a" stroke-width="1.5" stroke-dasharray="4 3"/>`+"\n",
+				ax, ay, bx, by)
+		}
+	}
+
+	// Answer objects with keyword labels and spokes to the query.
+	qx, qy := tx(q.Loc)
+	for _, id := range res.Set {
+		o := ds.Object(id)
+		x, y := tx(o.Loc)
+		p(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#9ab8d8" stroke-width="1"/>`+"\n", qx, qy, x, y)
+		p(`<circle cx="%.1f" cy="%.1f" r="5" fill="#2e7d32"/>`+"\n", x, y)
+		p(`<text x="%.1f" y="%.1f" font-size="11" font-family="sans-serif" fill="#1b5e20">%s</text>`+"\n",
+			x+7, y-5, escape(o.Keywords.Format(ds.Vocab)))
+	}
+
+	// The query location last, on top.
+	p(`<circle cx="%.1f" cy="%.1f" r="6" fill="#d96a00"/>`+"\n", qx, qy)
+	p(`<text x="%.1f" y="%.1f" font-size="12" font-family="sans-serif" fill="#8a4500">q (cost %.4g)</text>`+"\n",
+		qx+9, qy+4, res.Cost)
+
+	p("</svg>\n")
+	return err
+}
+
+// escape makes text safe for SVG content.
+func escape(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '<':
+			out = append(out, "&lt;"...)
+		case '>':
+			out = append(out, "&gt;"...)
+		case '&':
+			out = append(out, "&amp;"...)
+		default:
+			out = append(out, s[i])
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,108 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"coskq/internal/core"
+	"coskq/internal/datagen"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+func buildScene(t *testing.T) (*core.Engine, core.Query, core.Result) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{
+		Name: "scene", NumObjects: 500, VocabSize: 40, AvgKeywords: 3, Seed: 5,
+	})
+	e := core.NewEngine(ds, 0)
+	g := datagen.NewQueryGen(ds, e.Inv, 0, 40, 9)
+	for i := 0; i < 20; i++ {
+		loc, kws := g.Next(3)
+		q := core.Query{Loc: loc, Keywords: kws}
+		res, err := e.Solve(q, core.MaxSum, core.OwnerExact)
+		if err == nil {
+			return e, q, res
+		}
+	}
+	t.Fatal("no feasible query found")
+	return nil, core.Query{}, core.Result{}
+}
+
+func TestRenderProducesValidSVG(t *testing.T) {
+	e, q, res := buildScene(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, e, q, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "viewBox",
+		`fill="#2e7d32"`, // answer objects
+		`fill="#d96a00"`, // query marker
+		"cost",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	// One answer circle per answer object.
+	if got := strings.Count(out, `fill="#2e7d32"`); got != len(res.Set) {
+		t.Fatalf("answer markers = %d, want %d", got, len(res.Set))
+	}
+	// Multi-object answers draw the pairwise-owner span.
+	if len(res.Set) > 1 && !strings.Contains(out, `stroke="#d94a4a"`) {
+		t.Fatal("pairwise distance owner line missing")
+	}
+}
+
+func TestRenderBackgroundCap(t *testing.T) {
+	e, q, res := buildScene(t)
+	var buf bytes.Buffer
+	if err := Render(&buf, e, q, res, Options{MaxBackground: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), `fill="#c8c8c8"`); got > 10 {
+		t.Fatalf("background objects = %d, cap 10", got)
+	}
+}
+
+func TestRenderEscapesKeywords(t *testing.T) {
+	b := dataset.NewBuilder("esc")
+	b.Add(geo.Point{X: 1, Y: 1}, "a<b&c>d")
+	ds := b.Build()
+	e := core.NewEngine(ds, 0)
+	kw, _ := ds.Vocab.Lookup("a<b&c>d")
+	q := core.Query{Loc: geo.Point{X: 0, Y: 0}, Keywords: kwds.NewSet(kw)}
+	res, err := e.Solve(q, core.MaxSum, core.OwnerExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Render(&buf, e, q, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "a<b&c>d") {
+		t.Fatal("unescaped keyword leaked into SVG")
+	}
+	if !strings.Contains(out, "a&lt;b&amp;c&gt;d") {
+		t.Fatal("escaped keyword missing")
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	e, q, res := buildScene(t)
+	var a, b bytes.Buffer
+	if err := Render(&a, e, q, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Render(&b, e, q, res, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("rendering not deterministic")
+	}
+}

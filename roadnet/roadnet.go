@@ -1,0 +1,54 @@
+// Package roadnet is the public surface of the road-network CoSKQ
+// extension: the paper's future-work direction of running collective
+// spatial keyword queries under shortest-path distance instead of
+// Euclidean distance.
+//
+// Build a Graph (or generate a perturbed grid), attach geo-textual
+// objects to nodes, and query with Exact (optimal) or Appro (ratio 2 for
+// both MaxSum and Dia — the Euclidean 1.375/√3 constants rely on planar
+// geometry and degrade to the generic metric bound on networks).
+//
+//	g := roadnet.GenerateGrid(20, 20, 100, 0.2, 40, 1)
+//	objs := []roadnet.Object{{Node: 7, Keywords: kws}, ...}
+//	eng, err := roadnet.NewEngine(g, objs)
+//	res, err := eng.Exact(roadnet.Query{Node: 0, Keywords: need}, coskq.MaxSum)
+package roadnet
+
+import (
+	"coskq/internal/netcoskq"
+	iroadnet "coskq/internal/roadnet"
+)
+
+// NodeID identifies a graph node.
+type NodeID = iroadnet.NodeID
+
+// Graph is an undirected weighted road network embedded in the plane.
+type Graph = iroadnet.Graph
+
+// GenerateGrid builds a perturbed rows×cols road grid (see the internal
+// package for parameter semantics). The result is connected.
+func GenerateGrid(rows, cols int, spacing, jitter float64, extraEdges int, seed int64) *Graph {
+	return iroadnet.GenerateGrid(rows, cols, spacing, jitter, extraEdges, seed)
+}
+
+// Object is a geo-textual object attached to a network node.
+type Object = netcoskq.Object
+
+// Query is a CoSKQ issued from a network node.
+type Query = netcoskq.Query
+
+// Result is the answer to one network CoSKQ.
+type Result = netcoskq.Result
+
+// Engine answers CoSKQ over one road network with shortest-path
+// distances (per-source Dijkstra results are cached).
+type Engine = netcoskq.Engine
+
+// NewEngine builds an engine over g and objects.
+func NewEngine(g *Graph, objects []Object) (*Engine, error) {
+	return netcoskq.NewEngine(g, objects)
+}
+
+// ErrInfeasible is returned when some query keyword appears on no
+// reachable object.
+var ErrInfeasible = netcoskq.ErrInfeasible

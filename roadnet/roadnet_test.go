@@ -1,0 +1,40 @@
+package roadnet_test
+
+import (
+	"testing"
+
+	"coskq"
+	"coskq/roadnet"
+)
+
+// TestFacadeEndToEnd drives the public road-network surface.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := roadnet.GenerateGrid(6, 6, 10, 0.1, 4, 1)
+	if !g.Connected() {
+		t.Fatal("grid should be connected")
+	}
+	objs := []roadnet.Object{
+		{Node: 3, Keywords: coskq.NewKeywordSet(1)},
+		{Node: 17, Keywords: coskq.NewKeywordSet(2)},
+		{Node: 22, Keywords: coskq.NewKeywordSet(1, 2)},
+	}
+	eng, err := roadnet.NewEngine(g, objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := roadnet.Query{Node: 0, Keywords: coskq.NewKeywordSet(1, 2)}
+	exact, err := eng.Exact(q, coskq.MaxSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appro, err := eng.Appro(q, coskq.MaxSum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appro.Cost < exact.Cost-1e-9 || appro.Cost > 2*exact.Cost+1e-9 {
+		t.Fatalf("appro %v outside [exact, 2×exact] of %v", appro.Cost, exact.Cost)
+	}
+	if _, err := eng.Exact(roadnet.Query{Node: 0, Keywords: coskq.NewKeywordSet(9)}, coskq.MaxSum); err != roadnet.ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
