@@ -18,17 +18,19 @@ import (
 	"fmt"
 	"os"
 
+	"coskq/internal/core"
 	"coskq/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: T1, E1..E8 or all")
-		queries = flag.Int("queries", 100, "queries per parameter setting (paper: 500)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		scale   = flag.Float64("scale", 0.02, "GN/Web profile scale factor in (0,1]")
-		full    = flag.Bool("full", false, "paper-size scalability sweep (2M-10M objects)")
-		budget  = flag.Int("budget", 20_000_000, "exact-search node budget per query (DNF beyond)")
+		exp         = flag.String("exp", "all", "experiment id: T1, E1..E8 or all")
+		queries     = flag.Int("queries", 100, "queries per parameter setting (paper: 500)")
+		seed        = flag.Int64("seed", 1, "workload seed")
+		scale       = flag.Float64("scale", 0.02, "GN/Web profile scale factor in (0,1]")
+		full        = flag.Bool("full", false, "paper-size scalability sweep (2M-10M objects)")
+		budget      = flag.Int("budget", 20_000_000, "exact-search node budget per query (DNF beyond)")
+		showMetrics = flag.Bool("metrics", false, "print the cumulative query/latency/effort metrics (the same exposition coskq-server serves on /metrics) after the run")
 	)
 	flag.Parse()
 
@@ -40,8 +42,15 @@ func main() {
 		NodeBudget: *budget,
 		Out:        os.Stdout,
 	}
+	if *showMetrics {
+		opt.Metrics = core.NewEngineMetrics(nil)
+	}
 	if err := experiments.Run(*exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if opt.Metrics != nil {
+		fmt.Println("\n== metrics: cumulative counters and histograms over the whole run ==")
+		opt.Metrics.WriteText(os.Stdout)
 	}
 }

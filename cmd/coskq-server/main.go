@@ -1,10 +1,13 @@
 // Command coskq-server serves collective spatial keyword queries over
 // HTTP: load a dataset (gob or CSV), build the engine once, and answer
-// JSON query requests. A minimal deployment surface for the library.
+// JSON query requests. A minimal deployment surface for the library,
+// with the production robustness layer wired in: request logging, panic
+// recovery, a per-request timeout that cancels in-flight searches, and
+// metrics exposition.
 //
 // Usage:
 //
-//	coskq-server -data hotel.gob -addr :8080
+//	coskq-server -data hotel.gob -addr :8080 [-timeout 30s] [-budget 0] [-pprof]
 //
 // Endpoints:
 //
@@ -16,6 +19,12 @@
 //	    server to draw k random query keywords (for demos).
 //	GET /topk?x=500&y=500&kw=...&n=5[&cost=maxsum]
 //	    → {"results":[{...}, ...]} — the n cheapest irredundant sets.
+//	GET /healthz
+//	    → {"status":"ok", ...} liveness probe.
+//	GET /metrics
+//	    → text exposition of query counters and latency/effort histograms.
+//	GET /debug/pprof/ (only with -pprof)
+//	    → net/http/pprof profiles.
 package main
 
 import (
@@ -23,17 +32,24 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"coskq"
+	"coskq/internal/core"
+	"coskq/internal/metrics"
 	"coskq/internal/server"
 )
 
 func main() {
 	var (
-		data = flag.String("data", "", "dataset file, .gob or .csv (required)")
-		addr = flag.String("addr", ":8080", "listen address")
+		data      = flag.String("data", "", "dataset file, .gob or .csv (required)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline; in-flight searches are cancelled at the deadline (0 disables)")
+		budget    = flag.Int("budget", 0, "exact-search node budget per query, over-budget queries get 503 (0 = unlimited)")
+		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -57,8 +73,32 @@ func main() {
 	log.Printf("dataset %s: %s", ds.Name, ds.Stats())
 
 	eng := coskq.NewEngine(ds, 0)
-	log.Printf("indexes built; listening on %s", *addr)
-	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
+	eng.NodeBudget = *budget
+	reg := metrics.NewRegistry()
+	eng.Metrics = core.NewEngineMetrics(reg)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", server.NewWith(eng, server.Options{
+		Timeout:  *timeout,
+		Logger:   log.Default(),
+		Registry: reg,
+	}))
+	if *pprofFlag {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("pprof enabled on /debug/pprof/")
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	log.Printf("indexes built; listening on %s (timeout %v, budget %d)", *addr, *timeout, *budget)
+	if err := srv.ListenAndServe(); err != nil {
 		log.Fatal(err)
 	}
 }

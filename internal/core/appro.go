@@ -58,6 +58,7 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 			}
 		}
 		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
 		if dof < df {
 			continue // cannot be a query distance owner of a feasible set
 		}

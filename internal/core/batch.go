@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -20,6 +21,18 @@ type BatchItem struct {
 // execution is safe; NodeBudget and Ablation must not be mutated while a
 // batch is in flight.
 func (e *Engine) SolveBatch(queries []Query, cost CostKind, method Method, workers int) []BatchItem {
+	return e.SolveBatchCtx(context.Background(), queries, cost, method, workers)
+}
+
+// SolveBatchCtx is SolveBatch with cancellation. When ctx is cancelled
+// mid-batch, in-flight queries are interrupted (their items carry the
+// context error) and queued queries are marked with the context error
+// without being run, so the call returns promptly with partial results
+// rather than draining the whole batch.
+func (e *Engine) SolveBatchCtx(ctx context.Context, queries []Query, cost CostKind, method Method, workers int) []BatchItem {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := make([]BatchItem, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -38,7 +51,14 @@ func (e *Engine) SolveBatch(queries []Query, cost CostKind, method Method, worke
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				res, err := e.Solve(queries[i], cost, method)
+				// Checking per item (not only in the feeder) guarantees a
+				// cancelled batch stops doing new work even for indexes
+				// already queued.
+				if err := ctx.Err(); err != nil {
+					out[i] = BatchItem{Err: err}
+					continue
+				}
+				res, err := e.SolveCtx(ctx, queries[i], cost, method)
 				out[i] = BatchItem{Result: res, Err: err}
 			}
 		}()

@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -162,25 +163,59 @@ var ErrBudgetExceeded = errors.New("coskq: search node budget exceeded")
 // ErrBudgetExceeded.
 type budgetExceeded struct{}
 
-// chargeNode counts one expanded search node against the budget.
+// searchCanceled is the internal panic payload that unwinds a search when
+// the per-call context (SolveCtx, SolveBatchCtx, TopKCtx) is cancelled;
+// the entry points recover it into the context's error.
+type searchCanceled struct{ err error }
+
+// cancelPollMask downsamples cancellation checks in the hot loops: the
+// context is consulted once every cancelPollMask+1 counted events, which
+// bounds cancellation latency to a few hundred node expansions while
+// keeping the per-node overhead to one nil check.
+const cancelPollMask = 255
+
+// chargeNode counts one expanded search node against the budget and,
+// on a cancellable call, periodically polls the context.
 func (e *Engine) chargeNode(stats *Stats) {
 	stats.NodesExpanded++
 	if e.NodeBudget > 0 && stats.NodesExpanded > e.NodeBudget {
 		panic(budgetExceeded{})
 	}
+	if e.ctx != nil && stats.NodesExpanded&cancelPollMask == 0 {
+		if err := e.ctx.Err(); err != nil {
+			panic(searchCanceled{err})
+		}
+	}
 }
 
-// recoverBudget converts a budgetExceeded panic into ErrBudgetExceeded,
-// re-panicking on anything else. Use as:
+// pollCancel checks the per-call context every cancelPollMask+1 calls,
+// unwinding the search when it is done. counter is any monotonically
+// increasing per-execution count (e.g. Stats.CandidatesSeen); it
+// downsamples the check in loops that do not expand search nodes.
+func (e *Engine) pollCancel(counter int) {
+	if e.ctx == nil || counter&cancelPollMask != 0 {
+		return
+	}
+	if err := e.ctx.Err(); err != nil {
+		panic(searchCanceled{err})
+	}
+}
+
+// recoverBudget converts a budgetExceeded panic into ErrBudgetExceeded and
+// a searchCanceled panic into its context error, re-panicking on anything
+// else. Use as:
 //
 //	defer recoverBudget(&err)
 func recoverBudget(err *error) {
 	if r := recover(); r != nil {
-		if _, ok := r.(budgetExceeded); ok {
+		switch p := r.(type) {
+		case budgetExceeded:
 			*err = ErrBudgetExceeded
-			return
+		case searchCanceled:
+			*err = p.err
+		default:
+			panic(r)
 		}
-		panic(r)
 	}
 }
 
@@ -219,6 +254,19 @@ type Engine struct {
 	// the full algorithm; disabling rules never changes answers, only
 	// search effort.
 	Ablation Ablation
+
+	// Metrics, when non-nil, receives one record per Solve/SolveCtx
+	// execution (including every item of a batch): cumulative query and
+	// error counters plus latency and search-effort histograms. Recording
+	// is atomic, so a shared sink is safe under concurrent queries. Set it
+	// before issuing queries (the field itself is not synchronized).
+	Metrics *EngineMetrics
+
+	// ctx is the per-call cancellation context. It is only ever set on the
+	// private per-call copy of the engine made by withCtx — never on a
+	// shared Engine — so concurrent queries cannot observe each other's
+	// contexts.
+	ctx context.Context
 }
 
 // Ablation toggles the owner-driven search's pruning rules off, one by
@@ -250,6 +298,53 @@ func NewEngine(ds *dataset.Dataset, fanout int) *Engine {
 
 // Solve answers q with the chosen cost function and algorithm.
 func (e *Engine) Solve(q Query, cost CostKind, method Method) (Result, error) {
+	return e.SolveCtx(context.Background(), q, cost, method)
+}
+
+// SolveCtx is Solve with cancellation: when ctx is cancelled or its
+// deadline passes, the search — including a long-running exact search
+// deep inside its DFS — unwinds promptly (within a few hundred node
+// expansions, the same mechanism that enforces NodeBudget) and the
+// context's error is returned. A nil or never-cancellable ctx adds no
+// per-node overhead.
+func (e *Engine) SolveCtx(ctx context.Context, q Query, cost CostKind, method Method) (Result, error) {
+	start := time.Now()
+	res, err := e.solveCtx(ctx, q, cost, method)
+	if e.Metrics != nil {
+		e.Metrics.recordSolve(cost, method, res, err, time.Since(start))
+	}
+	return res, err
+}
+
+func (e *Engine) solveCtx(ctx context.Context, q Query, cost CostKind, method Method) (Result, error) {
+	run, err := e.withCtx(ctx)
+	if err != nil {
+		return Result{}, err
+	}
+	return run.solve(q, cost, method)
+}
+
+// withCtx returns the engine a cancellable call should run on: e itself
+// when ctx can never be cancelled, or a shallow per-call copy carrying
+// ctx (the copy shares the dataset and indexes; it exists so that a
+// shared Engine never holds per-request state).
+func (e *Engine) withCtx(ctx context.Context) (*Engine, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return e, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	clone := *e
+	clone.ctx = ctx
+	return &clone, nil
+}
+
+// solve dispatches to the per-(cost, method) algorithm. The deferred
+// recover catches cancellation unwinds from algorithms that have no
+// recover of their own (the approximation constructions).
+func (e *Engine) solve(q Query, cost CostKind, method Method) (res Result, err error) {
+	defer recoverBudget(&err)
 	switch cost {
 	case MaxSum, Dia:
 		switch method {

@@ -83,6 +83,7 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 			}
 		}
 		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
 
 		if dof < df && !e.Ablation.NoOwnerRing {
 			// No feasible set has its query distance owner closer than the

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"coskq/internal/metrics"
+)
+
+// Histogram bucket layouts shared by every engine sink. Latency buckets
+// span the observed CoSKQ range — exact-search latency varies by orders
+// of magnitude with |q.ψ| and keyword frequency, so the grid is
+// log-spaced from 25µs to 10s. Effort buckets are powers of four, wide
+// enough for the node counts of budgeted exact searches.
+var (
+	latencyBuckets = []float64{
+		25e-6, 100e-6, 250e-6, 1e-3, 2.5e-3, 10e-3, 25e-3,
+		100e-3, 250e-3, 1, 2.5, 10,
+	}
+	effortBuckets = []float64{
+		1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 1 << 20, 1 << 22,
+	}
+)
+
+// EngineMetrics is the per-engine observability sink: cumulative query
+// and error counters (with per-cost/per-method breakdown) plus latency
+// and search-effort histograms, all recorded with atomic operations so a
+// single sink serves concurrent queries exactly. Attach one via
+// Engine.Metrics; unlike the per-query Stats struct, which vanishes with
+// its Result, the sink accumulates across the engine's lifetime.
+type EngineMetrics struct {
+	reg *metrics.Registry
+
+	queries *metrics.Counter
+	errs    *metrics.Counter
+	latency *metrics.Histogram
+	owners  *metrics.Histogram
+	nodes   *metrics.Histogram
+	cands   *metrics.Histogram
+	sets    *metrics.Histogram
+}
+
+// NewEngineMetrics returns a sink recording into reg (nil for a fresh
+// private registry). Sharing one registry between the engine sink and the
+// HTTP layer yields a single /metrics exposition.
+func NewEngineMetrics(reg *metrics.Registry) *EngineMetrics {
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &EngineMetrics{
+		reg:     reg,
+		queries: reg.Counter("coskq_queries_total"),
+		errs:    reg.Counter("coskq_query_errors_total"),
+		latency: reg.Histogram("coskq_query_seconds", latencyBuckets),
+		owners:  reg.Histogram("coskq_query_owners_tried", effortBuckets),
+		nodes:   reg.Histogram("coskq_query_nodes_expanded", effortBuckets),
+		cands:   reg.Histogram("coskq_query_candidates_seen", effortBuckets),
+		sets:    reg.Histogram("coskq_query_sets_evaluated", effortBuckets),
+	}
+}
+
+// Registry returns the underlying registry (for exposition or for
+// registering further metrics alongside the engine's).
+func (m *EngineMetrics) Registry() *metrics.Registry { return m.reg }
+
+// WriteText renders the accumulated metrics in the text exposition
+// format.
+func (m *EngineMetrics) WriteText(w io.Writer) error { return m.reg.WriteText(w) }
+
+// QueriesTotal returns the cumulative number of recorded executions.
+func (m *EngineMetrics) QueriesTotal() uint64 { return m.queries.Value() }
+
+// errorReason maps an execution error to a bounded label vocabulary.
+func errorReason(err error) string {
+	switch {
+	case errors.Is(err, ErrInfeasible):
+		return "infeasible"
+	case errors.Is(err, ErrBudgetExceeded):
+		return "budget"
+	case errors.Is(err, ErrUnsupported):
+		return "unsupported"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline"
+	case errors.Is(err, context.Canceled):
+		return "cancelled"
+	default:
+		return "other"
+	}
+}
+
+// recordSolve accumulates one execution. Effort histograms are only fed
+// by successful executions (a failed one reports no meaningful effort);
+// latency and the per-cost/per-method counter count every execution.
+func (m *EngineMetrics) recordSolve(cost CostKind, method Method, res Result, err error, elapsed time.Duration) {
+	m.queries.Inc()
+	m.reg.Counter(fmt.Sprintf("coskq_queries_total{cost=%q,method=%q}", cost.String(), method.String())).Inc()
+	m.latency.Observe(elapsed.Seconds())
+	if err != nil {
+		m.errs.Inc()
+		m.reg.Counter(fmt.Sprintf("coskq_query_errors_total{reason=%q}", errorReason(err))).Inc()
+		return
+	}
+	m.owners.Observe(float64(res.Stats.OwnersTried))
+	m.nodes.Observe(float64(res.Stats.NodesExpanded))
+	m.cands.Observe(float64(res.Stats.CandidatesSeen))
+	m.sets.Observe(float64(res.Stats.SetsEvaluated))
+}

@@ -9,6 +9,7 @@ package core
 // its irredundant subset, so excluding them is the useful ranking.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -72,7 +73,22 @@ func (h *topKHeap) offer(set []dataset.ObjectID, cost float64, kind CostKind) {
 // MaxSum or Dia cost, best first (fewer when fewer exist). It reuses the
 // distance owner-driven enumeration with the k-th best cost as the ring
 // and pruning bound.
-func (e *Engine) TopK(q Query, cost CostKind, k int) (res []Result, err error) {
+func (e *Engine) TopK(q Query, cost CostKind, k int) ([]Result, error) {
+	return e.TopKCtx(context.Background(), q, cost, k)
+}
+
+// TopKCtx is TopK with cancellation, using the same per-call mechanism as
+// SolveCtx: when ctx is cancelled, the enumeration unwinds promptly and
+// the context's error is returned.
+func (e *Engine) TopKCtx(ctx context.Context, q Query, cost CostKind, k int) ([]Result, error) {
+	run, err := e.withCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return run.topK(q, cost, k)
+}
+
+func (e *Engine) topK(q Query, cost CostKind, k int) (res []Result, err error) {
 	defer recoverBudget(&err)
 	if cost != MaxSum && cost != Dia {
 		return nil, fmt.Errorf("%w: TopK supports MaxSum and Dia, got %v", ErrUnsupported, cost)
@@ -115,6 +131,7 @@ func (e *Engine) TopK(q Query, cost CostKind, k int) (res []Result, err error) {
 			}
 		}
 		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
 		if dof < df {
 			continue
 		}

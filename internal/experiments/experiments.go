@@ -43,6 +43,18 @@ type Options struct {
 	NodeBudget int
 	// Out receives the report (required).
 	Out io.Writer
+	// Metrics, when non-nil, is attached to every engine the suite
+	// builds, so one run accumulates the same latency/effort histograms
+	// the server exposes on /metrics (coskq-bench -metrics prints them).
+	Metrics *core.EngineMetrics
+}
+
+// newEngine builds an engine for one experiment dataset with the suite's
+// metrics sink attached.
+func (o Options) newEngine(ds *dataset.Dataset) *core.Engine {
+	eng := core.NewEngine(ds, 0)
+	eng.Metrics = o.Metrics
+	return eng
 }
 
 func (o Options) withDefaults() Options {
@@ -220,7 +232,7 @@ func querySweep(opt Options, id string, ds *dataset.Dataset, cost core.CostKind,
 	opt = opt.withDefaults()
 	header(opt.Out, id, fmt.Sprintf("effect of |q.ψ| on cost %v (%s, %d objects, %d queries/setting)",
 		cost, ds.Name, ds.Len(), opt.Queries))
-	eng := core.NewEngine(ds, 0)
+	eng := opt.newEngine(ds)
 	algos := algosFor(cost)
 	printAlgoHeader(opt.Out, "|q.ψ|", algos)
 	for _, k := range sizes {
@@ -275,7 +287,7 @@ func avgKeywordSweep(opt Options, id string, cost core.CostKind) {
 		if target > 4 {
 			ds = datagen.AugmentKeywords(base, target, opt.Seed+int64(target))
 		}
-		eng := core.NewEngine(ds, 0)
+		eng := opt.newEngine(ds)
 		queries := genQueries(eng, opt.Queries, 10, opt.Seed+int64(target)*7)
 		cells := runSetting(eng, cost, queries, algos, opt.NodeBudget)
 		printCells(opt.Out, fmt.Sprintf("%.0f", target), algos, cells)
@@ -303,7 +315,7 @@ func scalabilitySweep(opt Options, id string, cost core.CostKind) {
 	for _, n := range sizes {
 		ds := datagen.AugmentToN(base, n, opt.Seed+int64(n))
 		buildStart := time.Now()
-		eng := core.NewEngine(ds, 0)
+		eng := opt.newEngine(ds)
 		build := time.Since(buildStart)
 		ts := eng.Tree.Stats()
 		queries := genQueries(eng, opt.Queries, 10, opt.Seed+int64(n)*3)
@@ -323,7 +335,7 @@ func E8(opt Options) { scalabilitySweep(opt, "E8", core.Dia) }
 func X1(opt Options) {
 	opt = opt.withDefaults()
 	ds := datagen.Generate(datagen.ProfileHotel(opt.Seed))
-	eng := core.NewEngine(ds, 0)
+	eng := opt.newEngine(ds)
 	header(opt.Out, "X1", fmt.Sprintf("extension costs on Hotel (%d queries/setting)", opt.Queries))
 	fmt.Fprintf(opt.Out, "%-8s %-6s %14s %14s %18s %10s\n",
 		"cost", "|q.ψ|", "exact", "approx", "ratio avg/max", "%optimal")

@@ -1,0 +1,246 @@
+// Package metrics provides the serve-path observability primitives:
+// cumulative counters and fixed-bucket histograms whose hot-path updates
+// are single atomic operations (no locks, no allocation), collected in a
+// Registry with a plain-text exposition format compatible with the
+// Prometheus text format.
+//
+// The design splits responsibilities the way production services do:
+// recording (Counter.Inc, Histogram.Observe) happens on every query and
+// must be cheap and safe under full parallelism; exposition (WriteText)
+// happens rarely, on a /metrics scrape, and may take the registry's read
+// lock. Counters and histograms are monotone, so torn snapshots across
+// metrics are acceptable — each individual value is still exact.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing cumulative counter. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Histogram counts observations into fixed buckets with inclusive upper
+// bounds, plus an implicit +Inf overflow bucket, and tracks the running
+// sum of observed values. All methods are safe for concurrent use;
+// Observe is lock-free (one atomic add plus a CAS loop for the sum).
+type Histogram struct {
+	bounds []float64       // ascending inclusive upper bounds
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	n      atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, updated by CAS
+}
+
+// NewHistogram returns a histogram over the given ascending upper bounds.
+// It panics when bounds is empty or not strictly ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v, len(bounds) on overflow
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.n.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Snapshot is a point-in-time copy of a histogram's state.
+type Snapshot struct {
+	Bounds []float64 // upper bounds, ascending (no +Inf entry)
+	Counts []uint64  // per-bucket counts; Counts[len(Bounds)] is +Inf
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram state. Buckets are read one by one, so a
+// snapshot taken during concurrent Observe calls may be torn across
+// buckets but each bucket value is exact.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.n.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Registry is a named collection of counters and histograms. Lookups
+// take a read lock; first use of a name registers the metric. Metric
+// names may carry a Prometheus-style label suffix, e.g.
+// `coskq_queries_total{cost="MaxSum"}` — exposition groups such series
+// under one TYPE declaration per base name.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds on first use (later calls ignore bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// baseName strips a label suffix: `a_total{x="y"}` → `a_total`.
+func baseName(name string) string {
+	if i := len(name) - 1; i >= 0 && name[i] == '}' {
+		for j := 0; j < len(name); j++ {
+			if name[j] == '{' {
+				return name[:j]
+			}
+		}
+	}
+	return name
+}
+
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// WriteText renders every registered metric in the Prometheus text
+// exposition format, sorted by name: counters as `name value`, histograms
+// as cumulative `name_bucket{le="…"}` series plus `name_sum` and
+// `name_count`.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.RLock()
+	counterNames := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		counterNames = append(counterNames, name)
+	}
+	histNames := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		histNames = append(histNames, name)
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for name, c := range r.counters {
+		counters[name] = c
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.RUnlock()
+
+	sort.Strings(counterNames)
+	sort.Strings(histNames)
+
+	lastType := ""
+	for _, name := range counterNames {
+		if base := baseName(name); base != lastType {
+			lastType = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range histNames {
+		s := hists[name].Snapshot()
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		cum := uint64(0)
+		for i, b := range s.Bounds {
+			cum += s.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum); err != nil {
+				return err
+			}
+		}
+		cum += s.Counts[len(s.Bounds)]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(s.Sum, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

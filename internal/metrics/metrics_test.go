@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Value() != 0 {
+		t.Fatal("zero counter not zero")
+	}
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 10, 99, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// le semantics: bucket counts are per-bucket here, cumulative only in
+	// the exposition. 0.5 and 1 land in le=1; 1.5 and 10 in le=10; 99 in
+	// le=100; 1000 overflows.
+	want := []uint64{2, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%+v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 6 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if math.Abs(s.Sum-1112) > 1e-9 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+}
+
+func TestNewHistogramPanics(t *testing.T) {
+	for _, bounds := range [][]float64{nil, {}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", bounds)
+				}
+			}()
+			NewHistogram(bounds)
+		}()
+	}
+}
+
+// TestParallelRecordingExact is the satellite requirement: counters and
+// histograms must be exact — not approximately right — under parallel
+// recording.
+func TestParallelRecordingExact(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{0.25, 0.5, 0.75})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := r.Counter("hits") // concurrent get-or-create on purpose
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(float64(i%4) * 0.25) // 0, .25, .5, .75 round-robin
+			}
+		}(g)
+	}
+	wg.Wait()
+	const total = goroutines * perG
+	if got := r.Counter("hits").Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	s := h.Snapshot()
+	if s.Count != total {
+		t.Fatalf("histogram count = %d, want %d", s.Count, total)
+	}
+	// Each of the 4 values appears exactly total/4 times; 0 and .25 share
+	// the first bucket.
+	want := []uint64{total / 2, total / 4, total / 4, 0}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, s.Counts[i], w)
+		}
+	}
+	wantSum := float64(total/4) * (0 + 0.25 + 0.5 + 0.75)
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("coskq_queries_total").Add(3)
+	r.Counter(`coskq_queries_total{cost="MaxSum"}`).Add(2)
+	r.Counter(`coskq_queries_total{cost="Dia"}`).Inc()
+	h := r.Histogram("coskq_query_seconds", []float64{0.001, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE coskq_queries_total counter\n",
+		"coskq_queries_total 3\n",
+		`coskq_queries_total{cost="Dia"} 1` + "\n",
+		`coskq_queries_total{cost="MaxSum"} 2` + "\n",
+		"# TYPE coskq_query_seconds histogram\n",
+		`coskq_query_seconds_bucket{le="0.001"} 1` + "\n",
+		`coskq_query_seconds_bucket{le="0.1"} 2` + "\n",
+		`coskq_query_seconds_bucket{le="+Inf"} 3` + "\n",
+		"coskq_query_seconds_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line for the whole labeled counter family.
+	if n := strings.Count(out, "# TYPE coskq_queries_total"); n != 1 {
+		t.Errorf("%d TYPE lines for coskq_queries_total, want 1", n)
+	}
+}

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"coskq/internal/core"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/metrics"
+)
+
+func TestHealthzEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var got map[string]any
+	getJSON(t, srv.URL+"/healthz", http.StatusOK, &got)
+	if got["status"] != "ok" || got["dataset"] != "city" || got["objects"] != float64(4) {
+		t.Fatalf("healthz = %v", got)
+	}
+}
+
+// TestMetricsEndpoint is the acceptance check: after serving a query,
+// /metrics must expose nonzero query counters and latency histogram
+// buckets, covering both the engine sink and the HTTP layer.
+func TestMetricsEndpoint(t *testing.T) {
+	srv, _ := testServer(t)
+	var q queryResponse
+	getJSON(t, srv.URL+"/query?x=0&y=0&kw=cafe,museum", http.StatusOK, &q)
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"coskq_queries_total 1\n",
+		`coskq_queries_total{cost="MaxSum",method="OwnerExact"} 1` + "\n",
+		`coskq_http_requests_total{path="/query",status="200"} 1` + "\n",
+		"# TYPE coskq_query_seconds histogram\n",
+		"coskq_query_seconds_count 1\n",
+		`coskq_query_seconds_bucket{le="+Inf"} 1` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsCountsErrorRequests(t *testing.T) {
+	srv, _ := testServer(t)
+	resp, err := http.Get(srv.URL + "/query?x=abc&y=0&kw=cafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if want := `coskq_http_requests_total{path="/query",status="400"} 1`; !strings.Contains(string(body), want) {
+		t.Fatalf("exposition missing %q:\n%s", want, body)
+	}
+}
+
+// TestTimeoutMiddlewareSlowHandler exercises the middleware directly
+// with an artificially slow handler: the client must get a JSON 504 at
+// the deadline, long before the handler finishes.
+func TestTimeoutMiddlewareSlowHandler(t *testing.T) {
+	release := make(chan struct{})
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done(): // what a cancellation-aware handler does
+		case <-release: // guard against a hung context
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	defer close(release)
+	srv := httptest.NewServer(timeoutMiddleware(30*time.Millisecond, slow))
+	defer srv.Close()
+
+	start := time.Now()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("504 body not JSON: %v", err)
+	}
+	if body["error"] == "" {
+		t.Fatal("504 body has no error message")
+	}
+}
+
+func TestTimeoutMiddlewareFastHandlerPassesThrough(t *testing.T) {
+	fast := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Fast", "yes")
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "brewing")
+	})
+	srv := httptest.NewServer(timeoutMiddleware(5*time.Second, fast))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusTeapot || resp.Header.Get("X-Fast") != "yes" || string(body) != "brewing" {
+		t.Fatalf("buffered response mangled: %d %q %q", resp.StatusCode, resp.Header.Get("X-Fast"), body)
+	}
+}
+
+// TestServerTimeoutEndToEnd configures the full stack with an expired
+// deadline: whichever side wins the race — the middleware's 504 or the
+// handler observing the dead context — the client sees 504.
+func TestServerTimeoutEndToEnd(t *testing.T) {
+	b := dataset.NewBuilder("city")
+	b.Add(geo.Point{X: 1, Y: 0}, "cafe")
+	eng := core.NewEngine(b.Build(), 0)
+	srv := httptest.NewServer(NewWith(eng, Options{Timeout: time.Nanosecond}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/query?x=0&y=0&kw=cafe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestRecoverMiddleware: a panicking handler yields a JSON 500 and the
+// panic is logged, not propagated to the connection.
+func TestRecoverMiddleware(t *testing.T) {
+	var logged strings.Builder
+	logger := log.New(&logged, "", 0)
+	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("boom")
+	})
+	srv := httptest.NewServer(recoverMiddleware(logger, boom))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(logged.String(), "boom") {
+		t.Fatal("panic not logged")
+	}
+}
+
+// TestRecoverMiddlewareThroughTimeout: a panic inside the timeout
+// middleware's worker goroutine must surface through the full stack as a
+// 500, not kill the process.
+func TestRecoverMiddlewareThroughTimeout(t *testing.T) {
+	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		panic("deep boom")
+	})
+	h := recoverMiddleware(nil, timeoutMiddleware(time.Second, boom))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestRequestLogging(t *testing.T) {
+	var logged strings.Builder
+	b := dataset.NewBuilder("city")
+	b.Add(geo.Point{X: 1, Y: 0}, "cafe")
+	eng := core.NewEngine(b.Build(), 0)
+	srv := httptest.NewServer(NewWith(eng, Options{Logger: log.New(&logged, "", 0)}))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if line := logged.String(); !strings.Contains(line, "GET /healthz 200") {
+		t.Fatalf("log line = %q", line)
+	}
+}
+
+// TestConcurrentRequestsAndBatch races HTTP requests against a
+// SolveBatch on the same shared engine (run with -race); afterwards the
+// shared metrics sink must have counted every execution exactly.
+func TestConcurrentRequestsAndBatch(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := dataset.NewBuilder("city")
+	b.Add(geo.Point{X: 1, Y: 0}, "cafe")
+	b.Add(geo.Point{X: 0, Y: 2}, "museum")
+	b.Add(geo.Point{X: 2, Y: 2}, "cafe", "museum")
+	eng := core.NewEngine(b.Build(), 0)
+	srv := httptest.NewServer(NewWith(eng, Options{Registry: reg, Timeout: 10 * time.Second}))
+	defer srv.Close()
+
+	const clients = 4
+	const perClient = 15
+	batchQueries := make([]core.Query, 40)
+	for i := range batchQueries {
+		batchQueries[i] = core.Query{Loc: geo.Point{}, Keywords: kwset(eng, "cafe", "museum")}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Get(srv.URL + "/query?x=0&y=0&kw=cafe,museum")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eng.SolveBatch(batchQueries, core.Dia, core.OwnerAppro, 4)
+	}()
+	wg.Wait()
+
+	want := uint64(clients*perClient + len(batchQueries))
+	if got := eng.Metrics.QueriesTotal(); got != want {
+		t.Fatalf("coskq_queries_total = %d, want exactly %d", got, want)
+	}
+}

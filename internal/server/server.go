@@ -1,34 +1,249 @@
 // Package server implements the HTTP/JSON query surface of coskq-server:
 // a thin, stateless handler over one prebuilt Engine. Queries are
 // read-only, so the handler serves concurrent requests safely.
+//
+// The handler stack (outermost first) is panic recovery → request
+// logging + HTTP metrics → per-request timeout → route mux, serving:
+//
+//	GET /stats    dataset statistics
+//	GET /query    one CoSKQ answer
+//	GET /topk     the n cheapest irredundant sets
+//	GET /healthz  liveness probe
+//	GET /metrics  text exposition of the query/effort/latency metrics
 package server
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"time"
 
 	"coskq/internal/core"
 	"coskq/internal/datagen"
 	"coskq/internal/dataset"
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
+	"coskq/internal/metrics"
 )
 
-// New returns the HTTP handler serving /stats, /query and /topk over eng.
-func New(eng *core.Engine) http.Handler {
-	s := &server{eng: eng}
+// Options configures the robustness layer around the query handlers.
+// The zero value disables the timeout and logging and uses a fresh
+// metrics registry.
+type Options struct {
+	// Timeout bounds each request's total handling time. At the deadline
+	// the request context is cancelled — aborting an in-flight search via
+	// the engine's cancellation polls — and the client receives 504 with
+	// a JSON body. Zero disables the middleware (handlers still honour
+	// cancellation of the client connection's context).
+	Timeout time.Duration
+	// Logger receives one line per request (method, URI, status,
+	// duration) and panic reports. Nil disables logging.
+	Logger *log.Logger
+	// Registry collects HTTP-layer metrics and backs GET /metrics. Nil
+	// means: reuse the engine sink's registry when the engine has one,
+	// else create a fresh registry. When the engine has no metrics sink,
+	// one recording into this registry is attached, so engine and HTTP
+	// metrics share a single exposition.
+	Registry *metrics.Registry
+}
+
+// New returns the handler stack over eng with default options.
+func New(eng *core.Engine) http.Handler { return NewWith(eng, Options{}) }
+
+// NewWith returns the handler stack over eng. When eng.Metrics is nil it
+// is set here (call before the engine starts serving queries elsewhere).
+func NewWith(eng *core.Engine, opts Options) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		if eng.Metrics != nil {
+			reg = eng.Metrics.Registry()
+		} else {
+			reg = metrics.NewRegistry()
+		}
+	}
+	if eng.Metrics == nil {
+		eng.Metrics = core.NewEngineMetrics(reg)
+	}
+	s := &server{
+		eng:         eng,
+		reg:         reg,
+		httpLatency: reg.Histogram("coskq_http_request_seconds", httpLatencyBuckets),
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /query", s.handleQuery)
 	mux.HandleFunc("GET /topk", s.handleTopK)
-	return mux
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	var h http.Handler = mux
+	if opts.Timeout > 0 {
+		h = timeoutMiddleware(opts.Timeout, h)
+	}
+	h = s.observeMiddleware(opts.Logger, h)
+	h = recoverMiddleware(opts.Logger, h)
+	return h
+}
+
+var httpLatencyBuckets = []float64{
+	1e-3, 2.5e-3, 10e-3, 25e-3, 100e-3, 250e-3, 1, 2.5, 10,
 }
 
 type server struct {
-	eng *core.Engine
+	eng         *core.Engine
+	reg         *metrics.Registry
+	httpLatency *metrics.Histogram
+}
+
+// routeLabel maps a request path onto the bounded label vocabulary used
+// by the per-route request counter (unknown paths share one label so a
+// path-scanning client cannot grow the metric set).
+func routeLabel(path string) string {
+	switch path {
+	case "/stats", "/query", "/topk", "/healthz", "/metrics":
+		return path
+	default:
+		return "other"
+	}
+}
+
+// observeMiddleware records the per-request counter/latency metrics and,
+// when a logger is configured, one log line per request.
+func (s *server) observeMiddleware(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		elapsed := time.Since(start)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		s.reg.Counter(fmt.Sprintf("coskq_http_requests_total{path=%q,status=\"%d\"}",
+			routeLabel(r.URL.Path), status)).Inc()
+		s.httpLatency.Observe(elapsed.Seconds())
+		if logger != nil {
+			logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), status, elapsed.Round(time.Microsecond))
+		}
+	})
+}
+
+// statusWriter captures the response status for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// recoverMiddleware converts handler panics into a JSON 500 instead of
+// tearing down the connection, preserving http.ErrAbortHandler's
+// contract.
+func recoverMiddleware(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				panic(p)
+			}
+			if logger != nil {
+				logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			}
+			jsonError(w, http.StatusInternalServerError, "internal server error")
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// timeoutMiddleware runs next with a deadline on the request context.
+// The inner handler writes into a buffer that is only flushed when it
+// finishes in time; at the deadline the client gets 504 immediately
+// while the (context-aware) handler unwinds in the background. Inner
+// panics are re-raised on the serving goroutine for recoverMiddleware.
+func timeoutMiddleware(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		buf := &bufferedResponse{header: make(http.Header)}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+			}()
+			next.ServeHTTP(buf, r)
+			close(done)
+		}()
+		select {
+		case p := <-panicked:
+			panic(p)
+		case <-done:
+			buf.copyTo(w)
+		case <-ctx.Done():
+			jsonError(w, http.StatusGatewayTimeout, "request exceeded the %v server timeout", d)
+		}
+	})
+}
+
+// bufferedResponse buffers a response so a timed-out handler's late
+// writes never interleave with the 504 the client already received. It
+// is only ever touched by the handler goroutine until done is closed,
+// after which only the serving goroutine reads it.
+type bufferedResponse struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.status == 0 {
+		b.status = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) copyTo(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.status != 0 {
+		w.WriteHeader(b.status)
+	}
+	w.Write(b.body.Bytes())
 }
 
 // jsonError writes a JSON error body with the given status.
@@ -43,12 +258,49 @@ func writeJSON(w http.ResponseWriter, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// writeSolveError maps an engine execution error onto an HTTP status:
+// infeasible queries are a semantic 422, exhausted budgets and cancelled
+// requests are 503 (the server refused to spend more effort), a deadline
+// hit inside the engine is 504, and anything else is the client's fault.
+func writeSolveError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, core.ErrInfeasible):
+		jsonError(w, http.StatusUnprocessableEntity, "query keywords cannot be covered")
+	case errors.Is(err, core.ErrBudgetExceeded):
+		jsonError(w, http.StatusServiceUnavailable, "query exceeded the server's search budget")
+	case errors.Is(err, context.DeadlineExceeded):
+		jsonError(w, http.StatusGatewayTimeout, "query exceeded the server timeout")
+	case errors.Is(err, context.Canceled):
+		jsonError(w, http.StatusServiceUnavailable, "query cancelled")
+	default:
+		jsonError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
 type statsResponse struct {
 	Name        string  `json:"name"`
 	Objects     int     `json:"objects"`
 	UniqueWords int     `json:"uniqueWords"`
 	Words       int     `json:"words"`
 	AvgKeywords float64 `json:"avgKeywords"`
+}
+
+// handleHealthz is the liveness/readiness probe: the engine is built
+// before the listener starts, so reaching this handler means the server
+// can answer queries.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":  "ok",
+		"dataset": s.eng.DS.Name,
+		"objects": s.eng.DS.Len(),
+	})
+}
+
+// handleMetrics serves the text exposition of every counter and
+// histogram in the shared registry (engine + HTTP layer).
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -193,13 +445,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "unknown method %q", r.URL.Query().Get("method"))
 		return
 	}
-	res, err := s.eng.Solve(q, cost, method)
-	switch {
-	case err == core.ErrInfeasible:
-		jsonError(w, http.StatusUnprocessableEntity, "query keywords cannot be covered")
-		return
-	case err != nil:
-		jsonError(w, http.StatusBadRequest, "%v", err)
+	res, err := s.eng.SolveCtx(r.Context(), q, cost, method)
+	if err != nil {
+		writeSolveError(w, err)
 		return
 	}
 	writeJSON(w, queryResponse{
@@ -233,13 +481,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	results, err := s.eng.TopK(q, cost, n)
-	switch {
-	case err == core.ErrInfeasible:
-		jsonError(w, http.StatusUnprocessableEntity, "query keywords cannot be covered")
-		return
-	case err != nil:
-		jsonError(w, http.StatusBadRequest, "%v", err)
+	results, err := s.eng.TopKCtx(r.Context(), q, cost, n)
+	if err != nil {
+		writeSolveError(w, err)
 		return
 	}
 	resp := topKResponse{Results: make([]queryResponse, len(results))}
