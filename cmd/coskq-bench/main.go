@@ -20,6 +20,7 @@ import (
 
 	"coskq/internal/core"
 	"coskq/internal/experiments"
+	"coskq/internal/trace"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		full        = flag.Bool("full", false, "paper-size scalability sweep (2M-10M objects)")
 		budget      = flag.Int("budget", 20_000_000, "exact-search node budget per query (DNF beyond)")
 		showMetrics = flag.Bool("metrics", false, "print the cumulative query/latency/effort metrics (the same exposition coskq-server serves on /metrics) after the run")
+		showTrace   = flag.Bool("trace", false, "trace every query and print the slowest executions' trace trees after the run (adds a few percent of overhead)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,9 @@ func main() {
 	if *showMetrics {
 		opt.Metrics = core.NewEngineMetrics(nil)
 	}
+	if *showTrace {
+		opt.SlowLog = trace.NewSlowLog(3)
+	}
 	if err := experiments.Run(*exp, opt); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -52,5 +57,16 @@ func main() {
 	if opt.Metrics != nil {
 		fmt.Println("\n== metrics: cumulative counters and histograms over the whole run ==")
 		opt.Metrics.WriteText(os.Stdout)
+	}
+	if opt.SlowLog != nil {
+		fmt.Println("\n== slowest traced queries ==")
+		for _, e := range opt.SlowLog.Snapshot() {
+			fmt.Printf("\n%s  (%.3fms", e.Query, e.ElapsedMs)
+			if e.Err != "" {
+				fmt.Printf(", error: %s", e.Err)
+			}
+			fmt.Println(")")
+			e.Trace.WriteTree(os.Stdout)
+		}
 	}
 }

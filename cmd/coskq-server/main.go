@@ -31,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -49,6 +50,7 @@ func main() {
 		addr      = flag.String("addr", ":8080", "listen address")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline; in-flight searches are cancelled at the deadline (0 disables)")
 		budget    = flag.Int("budget", 0, "exact-search node budget per query, over-budget queries get 503 (0 = unlimited)")
+		slowlog   = flag.Int("slowlog", 0, "slow-query log capacity for /debug/slowlog (0 = default, negative disables)")
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
@@ -80,8 +82,9 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", server.NewWith(eng, server.Options{
 		Timeout:  *timeout,
-		Logger:   log.Default(),
+		Logger:   slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		Registry: reg,
+		SlowLog:  *slowlog,
 	}))
 	if *pprofFlag {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)

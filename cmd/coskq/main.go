@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 
 	"coskq"
 	"coskq/internal/stats"
+	"coskq/internal/trace"
 	"coskq/internal/viz"
 )
 
@@ -66,6 +68,7 @@ func main() {
 		method  = flag.String("method", "exact", "algorithm: exact, appro, cao-exact, cao-appro1, cao-appro2, brute, greedy-sum")
 		fanout  = flag.Int("fanout", 0, "IR-tree fanout (0 = default)")
 		svgOut  = flag.String("svg", "", "also render the answer to this SVG file")
+		explain = flag.Bool("explain", false, "print the per-phase execution trace after the answer")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -126,7 +129,13 @@ func main() {
 	q := coskq.Query{Loc: coskq.Point{X: *x, Y: *y}, Keywords: keywords}
 	fmt.Printf("query: loc=%v keywords=%s cost=%v method=%v\n", q.Loc, keywords.Format(ds.Vocab), cost, m)
 
-	res, err := eng.Solve(q, cost, m)
+	ctx := context.Background()
+	var tr *trace.Trace
+	if *explain {
+		tr = trace.New("query")
+		ctx = trace.NewContext(ctx, tr)
+	}
+	res, err := eng.SolveCtx(ctx, q, cost, m)
 	if err != nil {
 		die(err)
 	}
@@ -137,6 +146,11 @@ func main() {
 		o := ds.Object(id)
 		fmt.Printf("  object %-8d at %-24v d(q)=%-10.5g %s\n",
 			o.ID, o.Loc, q.Loc.Dist(o.Loc), o.Keywords.Format(ds.Vocab))
+	}
+	if *explain {
+		tr.Finish()
+		fmt.Println("\ntrace:")
+		tr.Export().WriteTree(os.Stdout)
 	}
 
 	if *svgOut != "" {

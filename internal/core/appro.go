@@ -5,6 +5,7 @@ import (
 
 	"coskq/internal/dataset"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // ownerAppro is the distance owner-driven approximation algorithm of the
@@ -27,18 +28,23 @@ import (
 func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, curCost, df, err := e.nnSeed(q, cost)
+	algo := e.tr.Begin("owner_appro")
+	var stats Stats
+	seed, curCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
 	var pool []cand
 	bitCands := make([][]int32, qi.Size())
 	set := make([]dataset.ObjectID, 0, qi.Size()+1)
 	bitOrder := make([]int, 0, qi.Size())
 
+	loop := e.tr.Begin("owner_loop")
+	searchStart := time.Now()
 	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
 	it.Limit(curCost)
 	for {
@@ -47,6 +53,7 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 			break
 		}
 		if dof >= curCost {
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			break // cost(S) ≥ d(owner, q)
 		}
 		ownerMask := qi.MaskOf(o.Keywords)
@@ -60,6 +67,7 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 		stats.CandidatesSeen++
 		e.pollCancel(stats.CandidatesSeen)
 		if dof < df {
+			stats.Prunes[trace.PruneOwnerRing]++
 			continue // cannot be a query distance owner of a feasible set
 		}
 		stats.OwnersTried++
@@ -93,6 +101,7 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 				bitOrder[j], bitOrder[j-1] = bitOrder[j-1], bitOrder[j]
 			}
 		}
+		osp := e.tr.Begin("greedy_construct")
 		set = set[:0]
 		feasible := true
 		maxToOwner := 0.0
@@ -113,21 +122,41 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 			}
 			// maxToOwner lower-bounds the final pairwise component.
 			if combine(cost, dof, maxToOwner) >= curCost {
+				stats.Prunes[trace.PruneGreedyBound]++
 				feasible = false
 				break
 			}
 			set = append(set, pool[bestIdx].o.ID)
 		}
 		if !feasible {
+			osp.Drop()
 			continue
 		}
 		set = append(set, o.ID)
 		stats.SetsEvaluated++
 		if c := e.EvalCost(cost, q.Loc, set); c < curCost {
+			if osp != nil {
+				// Keep construction spans only for improving owners.
+				osp.Attr("owner_id", float64(o.ID))
+				osp.Attr("d_owner", dof)
+				osp.Attr("cost", c)
+				osp.End()
+			}
 			curSet, curCost = canonical(set), c
 			it.Limit(curCost)
+		} else {
+			osp.Drop()
 		}
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("candidates", float64(stats.CandidatesSeen))
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		loop.Attr("cost", curCost)
+	}
+	loop.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil

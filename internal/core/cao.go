@@ -6,6 +6,7 @@ import (
 
 	"coskq/internal/dataset"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // caoAppro1 is Cao et al.'s first approximation: return the nearest
@@ -14,15 +15,20 @@ import (
 // costs at least d_f).
 func (e *Engine) caoAppro1(q Query, cost CostKind) (Result, error) {
 	start := time.Now()
-	seed, c, _, err := e.nnSeed(q, cost)
+	algo := e.tr.Begin("cao_appro1")
+	var stats Stats
+	seed, c, _, err := e.nnSeed(q, cost, &stats)
+	algo.End()
 	if err != nil {
 		return Result{}, err
 	}
+	stats.SetsEvaluated = 1
+	stats.Elapsed = time.Since(start)
 	return Result{
 		Set:   canonical(seed),
 		Cost:  c,
 		Cost2: cost,
-		Stats: Stats{Elapsed: time.Since(start), SetsEvaluated: 1},
+		Stats: stats,
 	}, nil
 }
 
@@ -35,13 +41,18 @@ func (e *Engine) caoAppro1(q Query, cost CostKind) (Result, error) {
 func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, curCost, _, err := e.nnSeed(q, cost)
+	algo := e.tr.Begin("cao_appro2")
+	var stats Stats
+	seed, curCost, _, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
+	loop := e.tr.Begin("owner_loop")
+	searchStart := time.Now()
 	tf := e.farthestNNKeyword(q)
 	it := e.Tree.NewKeywordNNIterator(q.Loc, tf)
 	for {
@@ -50,6 +61,7 @@ func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
 			break
 		}
 		if d >= curCost {
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			break // o ∈ S implies cost(S) ≥ d(o, q) under MaxSum and Dia
 		}
 		stats.OwnersTried++
@@ -62,6 +74,14 @@ func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
 			curSet, curCost = canonical(set), c
 		}
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		loop.Attr("cost", curCost)
+	}
+	loop.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil
@@ -111,15 +131,22 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 
 	// Seed with the Appro2 result, as Cao et al. do.
+	algo := e.tr.Begin("cao_exact")
+	seedSp := e.tr.Begin("seed_appro2")
 	seedRes, err := e.caoAppro2(q, cost)
+	seedSp.End()
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet, curCost := seedRes.Set, seedRes.Cost
-	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated}
+	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated, Prunes: seedRes.Stats.Prunes}
+	stats.Phases.Seed = time.Since(start)
 
 	// Materialize, per query keyword, the candidate objects containing it
 	// within C(q, curCost), ascending by distance.
+	matSp := e.tr.Begin("materialize")
+	matStart := time.Now()
 	type kwCand struct {
 		o    *dataset.Object
 		d    float64
@@ -137,7 +164,14 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 			stats.CandidatesSeen++
 		}
 	}
+	stats.Phases.Materialize = time.Since(matStart)
+	if matSp != nil {
+		matSp.Attr("candidates", float64(stats.CandidatesSeen))
+	}
+	matSp.End()
 
+	searchSp := e.tr.Begin("bnb_search")
+	searchStart := time.Now()
 	var (
 		chosen    []*dataset.Object
 		chosenIDs []dataset.ObjectID
@@ -165,10 +199,14 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 		}
 		for _, kc := range cands[branch] {
 			if kc.mask&^covered == 0 {
+				stats.Prunes[trace.PruneNoNewKeyword]++
 				continue
 			}
 			if kc.d >= curCost {
-				break // ascending distance: every later candidate also exceeds the bound
+				// ascending distance: every later candidate also exceeds
+				// the bound
+				stats.Prunes[trace.PruneDistanceBreak]++
+				break
 			}
 			nd := math.Max(maxD, kc.d)
 			np := maxPair
@@ -178,6 +216,7 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 				}
 			}
 			if combine(cost, nd, np) >= curCost {
+				stats.Prunes[trace.PrunePairBound]++
 				continue
 			}
 			chosen = append(chosen, kc.o)
@@ -188,6 +227,14 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 		}
 	}
 	dfs(0, 0, 0)
+	stats.Phases.Search = time.Since(searchStart)
+	if searchSp != nil {
+		searchSp.Attr("nodes", float64(stats.NodesExpanded))
+		searchSp.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		searchSp.Attr("cost", curCost)
+	}
+	searchSp.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil

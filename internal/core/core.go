@@ -38,6 +38,7 @@ import (
 	"coskq/internal/invindex"
 	"coskq/internal/irtree"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // Query is a collective spatial keyword query: a location and the keyword
@@ -226,6 +227,30 @@ type Stats struct {
 	SetsEvaluated  int // feasible sets whose cost was computed
 	NodesExpanded  int // search-tree nodes expanded (exact searches)
 	CandidatesSeen int // relevant objects materialized
+
+	// Phases breaks Elapsed down across the coarse phases the algorithms
+	// share; a phase an algorithm does not have stays zero. Phases.Seed
+	// includes nested seed solves (e.g. Cao-Exact's Appro2 seeding).
+	Phases PhaseBreakdown
+	// Prunes counts, per pruning rule, how often the search discarded
+	// work. Counting is a plain array increment, so it is always on; the
+	// per-query trace (internal/trace) exports the same counters in its
+	// EXPLAIN output.
+	Prunes trace.PruneCounts
+}
+
+// PhaseBreakdown splits one execution's elapsed time across the coarse
+// algorithm phases.
+type PhaseBreakdown struct {
+	// Seed is the nearest-neighbor seeding phase (N(q) construction, or
+	// an approximation run seeding an exact search).
+	Seed time.Duration
+	// Materialize is standalone candidate materialization (index disk
+	// queries building candidate lists). Algorithms that interleave
+	// materialization with the owner loop charge it to Search.
+	Materialize time.Duration
+	// Search is the owner loop / cover enumeration.
+	Search time.Duration
 }
 
 // Result is the answer to one CoSKQ execution.
@@ -267,6 +292,12 @@ type Engine struct {
 	// shared Engine — so concurrent queries cannot observe each other's
 	// contexts.
 	ctx context.Context
+
+	// tr is the per-call execution trace (carried in the context via
+	// internal/trace). Like ctx it only ever lives on a per-call engine
+	// copy. All trace calls are nil-safe, so a nil tr — the common case —
+	// costs one branch and never allocates.
+	tr *trace.Trace
 }
 
 // Ablation toggles the owner-driven search's pruning rules off, one by
@@ -310,8 +341,15 @@ func (e *Engine) Solve(q Query, cost CostKind, method Method) (Result, error) {
 func (e *Engine) SolveCtx(ctx context.Context, q Query, cost CostKind, method Method) (Result, error) {
 	start := time.Now()
 	res, err := e.solveCtx(ctx, q, cost, method)
+	// Every algorithm stamps its own Elapsed, but error unwinds (budget,
+	// cancellation) and future algorithms may not; stamp the wall time of
+	// the whole call here so the field is populated uniformly.
+	res.Stats.Elapsed = time.Since(start)
 	if e.Metrics != nil {
-		e.Metrics.recordSolve(cost, method, res, err, time.Since(start))
+		e.Metrics.recordSolve(cost, method, res, err, res.Stats.Elapsed)
+	}
+	if tr := trace.FromContext(ctx); tr != nil {
+		tr.AddPrunes(res.Stats.Prunes)
 	}
 	return res, err
 }
@@ -324,12 +362,17 @@ func (e *Engine) solveCtx(ctx context.Context, q Query, cost CostKind, method Me
 	return run.solve(q, cost, method)
 }
 
-// withCtx returns the engine a cancellable call should run on: e itself
-// when ctx can never be cancelled, or a shallow per-call copy carrying
-// ctx (the copy shares the dataset and indexes; it exists so that a
-// shared Engine never holds per-request state).
+// withCtx returns the engine a cancellable or traced call should run on:
+// e itself when ctx can never be cancelled and carries no trace, or a
+// shallow per-call copy carrying ctx and the trace (the copy shares the
+// dataset and indexes; it exists so that a shared Engine never holds
+// per-request state).
 func (e *Engine) withCtx(ctx context.Context) (*Engine, error) {
-	if ctx == nil || ctx.Done() == nil {
+	if ctx == nil {
+		return e, nil
+	}
+	tr := trace.FromContext(ctx)
+	if ctx.Done() == nil && tr == nil {
 		return e, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -337,6 +380,7 @@ func (e *Engine) withCtx(ctx context.Context) (*Engine, error) {
 	}
 	clone := *e
 	clone.ctx = ctx
+	clone.tr = tr
 	return &clone, nil
 }
 
@@ -447,10 +491,15 @@ func (e *Engine) EvalCost(cost CostKind, q geo.Point, set []dataset.ObjectID) fl
 
 // nnSeed computes the nearest neighbor set N(q), its cost under the given
 // cost function, and d_f = max_{o∈N(q)} d(o,q). It returns ErrInfeasible
-// when some query keyword has no object.
-func (e *Engine) nnSeed(q Query, cost CostKind) (set []dataset.ObjectID, c, df float64, err error) {
+// when some query keyword has no object. The phase is charged to
+// stats.Phases.Seed and recorded as an "nn_seed" span when tracing.
+func (e *Engine) nnSeed(q Query, cost CostKind, stats *Stats) (set []dataset.ObjectID, c, df float64, err error) {
+	sp := e.tr.Begin("nn_seed")
+	t0 := time.Now()
 	ids, ok := e.Tree.NNSet(q.Loc, q.Keywords)
 	if !ok {
+		stats.Phases.Seed += time.Since(t0)
+		sp.End()
 		return nil, 0, 0, ErrInfeasible
 	}
 	for _, id := range ids {
@@ -458,7 +507,15 @@ func (e *Engine) nnSeed(q Query, cost CostKind) (set []dataset.ObjectID, c, df f
 			df = d
 		}
 	}
-	return ids, e.EvalCost(cost, q.Loc, ids), df, nil
+	c = e.EvalCost(cost, q.Loc, ids)
+	stats.Phases.Seed += time.Since(t0)
+	if sp != nil {
+		sp.Attr("seed_size", float64(len(ids)))
+		sp.Attr("seed_cost", c)
+		sp.Attr("d_f", df)
+	}
+	sp.End()
+	return ids, c, df, nil
 }
 
 // canonical returns set sorted ascending with duplicates removed, the form

@@ -6,6 +6,7 @@ import (
 
 	"coskq/internal/dataset"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // combine composes the two distance components — the query distance owner
@@ -43,18 +44,23 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 	defer recoverBudget(&err)
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, curCost, df, err := e.nnSeed(q, cost)
+	algo := e.tr.Begin("owner_exact")
+	var stats Stats
+	seed, curCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
 	// pool holds every relevant object popped so far, ascending by d(·,q);
 	// bitCands[b] indexes the pool entries covering query keyword bit b.
 	var pool []cand
 	bitCands := make([][]int32, qi.Size())
 
+	loop := e.tr.Begin("owner_loop")
+	searchStart := time.Now()
 	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
 	if !e.Ablation.NoIncumbentBreak {
 		it.Limit(curCost)
@@ -68,6 +74,7 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 			// cost(S) ≥ d(owner, q) for any S containing an object this
 			// far, so the enumeration can stop (ablation A1 measures what
 			// this break is worth by degrading it to a per-owner skip).
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			if !e.Ablation.NoIncumbentBreak {
 				break
 			}
@@ -89,17 +96,45 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 			// No feasible set has its query distance owner closer than the
 			// farthest keyword NN; o still enters the pool as a potential
 			// non-owner member.
+			stats.Prunes[trace.PruneOwnerRing]++
 			continue
 		}
 		stats.OwnersTried++
+		osp := e.tr.Begin("best_with_owner")
+		nodes0 := stats.NodesExpanded
 		set, c := e.bestWithOwner(qi, cost, pool, bitCands, int(idx), curCost, &stats)
-		if set != nil && c < curCost {
+		improved := set != nil && c < curCost
+		if osp != nil {
+			// Keep sub-search spans only for owners that improved the
+			// incumbent — the iterations that explain the answer — and
+			// fold the rest back into the loop span's aggregates.
+			if improved {
+				osp.Attr("owner_id", float64(o.ID))
+				osp.Attr("d_owner", dof)
+				osp.Attr("nodes", float64(stats.NodesExpanded-nodes0))
+				osp.Attr("cost", c)
+				osp.End()
+			} else {
+				osp.Drop()
+			}
+		}
+		if improved {
 			curSet, curCost = canonical(set), c
 			if !e.Ablation.NoIncumbentBreak {
 				it.Limit(curCost)
 			}
 		}
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("candidates", float64(stats.CandidatesSeen))
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("nodes", float64(stats.NodesExpanded))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		loop.Attr("cost", curCost)
+	}
+	loop.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil
@@ -124,6 +159,7 @@ func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, 
 		return nil, 0
 	}
 	if combine(cost, dof, 0) >= bound {
+		stats.Prunes[trace.PruneOwnerBound]++
 		return nil, 0
 	}
 
@@ -162,6 +198,7 @@ func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, 
 		for _, ci := range bitCands[branchBit] {
 			c := pool[ci]
 			if c.mask&^covered == 0 {
+				stats.Prunes[trace.PruneNoNewKeyword]++
 				continue // contributes nothing new
 			}
 			// Incremental pairwise distance owner bound.
@@ -175,6 +212,7 @@ func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, 
 				}
 			}
 			if combine(cost, dof, np) >= bestCost && !e.Ablation.NoPairPrune {
+				stats.Prunes[trace.PrunePairBound]++
 				continue
 			}
 			chosen = append(chosen, ci)

@@ -15,6 +15,7 @@ import (
 	"coskq/internal/dataset"
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // sumCandidates materializes the relevant objects that can participate in
@@ -80,11 +81,14 @@ func dominanceFilter(cands []cand) []cand {
 func (e *Engine) greedySum(q Query) (Result, error) {
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, seedCost, _, err := e.nnSeed(q, Sum)
+	algo := e.tr.Begin("greedy_sum")
+	var stats Stats
+	seed, seedCost, _, err := e.nnSeed(q, Sum, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
 	cands := e.sumCandidates(q, qi, seedCost)
 	stats.CandidatesSeen = len(cands)
@@ -120,6 +124,7 @@ func (e *Engine) greedySum(q Query) (Result, error) {
 	if seedCost < c {
 		res, c = canonical(seed), seedCost
 	}
+	algo.End()
 	stats.Elapsed = time.Since(start)
 	return Result{Set: res, Cost: c, Cost2: Sum, Stats: stats}, nil
 }
@@ -134,18 +139,32 @@ func (e *Engine) sumExact(q Query) (res Result, err error) {
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
 
+	algo := e.tr.Begin("sum_exact")
+	seedSp := e.tr.Begin("seed_greedy")
 	seedRes, err := e.greedySum(q)
+	seedSp.End()
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet, curCost := seedRes.Set, seedRes.Cost
-	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated}
+	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated, Prunes: seedRes.Stats.Prunes}
+	stats.Phases.Seed = time.Since(start)
 
+	matSp := e.tr.Begin("materialize")
+	matStart := time.Now()
 	cands := e.sumCandidates(q, qi, curCost)
 	if !e.Ablation.NoSumDominance {
+		before := len(cands)
 		cands = dominanceFilter(cands)
+		stats.Prunes[trace.PruneDominated] += int64(before - len(cands))
 	}
 	stats.CandidatesSeen = len(cands)
+	stats.Phases.Materialize = time.Since(matStart)
+	if matSp != nil {
+		matSp.Attr("candidates", float64(stats.CandidatesSeen))
+	}
+	matSp.End()
 
 	// minDistFor[b]: distance of the nearest candidate covering bit b.
 	minDistFor := make([]float64, qi.Size())
@@ -174,6 +193,8 @@ func (e *Engine) sumExact(q Query) (res Result, err error) {
 		return lb
 	}
 
+	searchSp := e.tr.Begin("search")
+	searchStart := time.Now()
 	var chosen []dataset.ObjectID
 	var dfs func(covered kwds.Mask, sum float64)
 	dfs = func(covered kwds.Mask, sum float64) {
@@ -187,6 +208,7 @@ func (e *Engine) sumExact(q Query) (res Result, err error) {
 			return
 		}
 		if sum+completion(covered) >= curCost {
+			stats.Prunes[trace.PruneCompletionBound]++
 			return
 		}
 		branch, branchLen := -1, math.MaxInt32
@@ -200,7 +222,12 @@ func (e *Engine) sumExact(q Query) (res Result, err error) {
 		}
 		for _, i := range bitCands[branch] {
 			c := cands[i]
-			if c.mask&^covered == 0 || sum+c.d >= curCost {
+			if c.mask&^covered == 0 {
+				stats.Prunes[trace.PruneNoNewKeyword]++
+				continue
+			}
+			if sum+c.d >= curCost {
+				stats.Prunes[trace.PruneSumBound]++
 				continue
 			}
 			chosen = append(chosen, c.o.ID)
@@ -209,6 +236,14 @@ func (e *Engine) sumExact(q Query) (res Result, err error) {
 		}
 	}
 	dfs(0, 0)
+	stats.Phases.Search = time.Since(searchStart)
+	if searchSp != nil {
+		searchSp.Attr("nodes", float64(stats.NodesExpanded))
+		searchSp.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		searchSp.Attr("cost", curCost)
+	}
+	searchSp.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: Sum, Stats: stats}, nil
@@ -223,13 +258,18 @@ func (e *Engine) minMaxExact(q Query) (res Result, err error) {
 	defer recoverBudget(&err)
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, curCost, _, err := e.nnSeed(q, MinMax)
+	algo := e.tr.Begin("minmax_exact")
+	var stats Stats
+	seed, curCost, _, err := e.nnSeed(q, MinMax, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
+	loop := e.tr.Begin("owner_loop")
+	searchStart := time.Now()
 	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
 	it.Limit(curCost)
 	for {
@@ -238,6 +278,7 @@ func (e *Engine) minMaxExact(q Query) (res Result, err error) {
 			break
 		}
 		if do >= curCost {
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			break // cost ≥ d(nearest member, q)
 		}
 		stats.OwnersTried++
@@ -271,6 +312,15 @@ func (e *Engine) minMaxExact(q Query) (res Result, err error) {
 			it.Limit(curCost)
 		}
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("candidates", float64(stats.CandidatesSeen))
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		loop.Attr("cost", curCost)
+	}
+	loop.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: MinMax, Stats: stats}, nil
@@ -354,13 +404,18 @@ func (e *Engine) minMaxBestWithOwner(qi *kwds.QueryIndex, owner *dataset.Object,
 func (e *Engine) minMaxAppro(q Query) (Result, error) {
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, curCost, _, err := e.nnSeed(q, MinMax)
+	algo := e.tr.Begin("minmax_appro")
+	var stats Stats
+	seed, curCost, _, err := e.nnSeed(q, MinMax, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
+	loop := e.tr.Begin("owner_loop")
+	searchStart := time.Now()
 	noDisk := geo.Circle{R: -1}
 	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
 	for {
@@ -369,6 +424,7 @@ func (e *Engine) minMaxAppro(q Query) (Result, error) {
 			break
 		}
 		if do >= curCost {
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			break
 		}
 		stats.OwnersTried++
@@ -392,6 +448,14 @@ func (e *Engine) minMaxAppro(q Query) (Result, error) {
 			curSet, curCost = canonical(set), c
 		}
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		loop.Attr("cost", curCost)
+	}
+	loop.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: MinMax, Stats: stats}, nil

@@ -20,6 +20,7 @@ import (
 	"coskq/internal/dataset"
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // pairsExact is the pair-owners-first exact search for MaxSum and Dia.
@@ -27,26 +28,39 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 	defer recoverBudget(&err)
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, curCost, df, err := e.nnSeed(q, cost)
+	algo := e.tr.Begin("pairs_exact")
+	var stats Stats
+	seed, curCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
+	stats.Phases.Seed = time.Since(start)
 
 	// Step 0: all relevant objects in R_S = C(q, r1); r1 = curCost for
 	// both costs (any member farther than the incumbent cost disqualifies
 	// its set).
+	matSp := e.tr.Begin("materialize")
+	matStart := time.Now()
 	var cands []cand
 	e.Tree.RelevantInDisk(geo.Circle{C: q.Loc, R: curCost}, qi, func(o *dataset.Object, m kwds.Mask) bool {
 		cands = append(cands, cand{o: o, d: q.Loc.Dist(o.Loc), mask: m})
 		return true
 	})
 	stats.CandidatesSeen = len(cands)
+	stats.Phases.Materialize = time.Since(matStart)
+	if matSp != nil {
+		matSp.Attr("candidates", float64(stats.CandidatesSeen))
+	}
+	matSp.End()
 
 	// Step 1: candidate pairwise distance owner pairs (i == j covers
 	// singleton and co-located answers), filtered by the d_LB/d_UB bounds
 	// and ordered by the pair cost lower bound.
+	searchSp := e.tr.Begin("pair_search")
+	searchStart := time.Now()
 	type pairCand struct {
 		i, j   int
 		dij    float64
@@ -67,12 +81,15 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 				costLB = dij + math.Max(maxDq, df)
 			}
 			if dij >= dUB {
+				stats.Prunes[trace.PrunePairBound]++
 				continue
 			}
 			if dij < df-minDq { // d_LB from the triangle inequality
+				stats.Prunes[trace.PrunePairBound]++
 				continue
 			}
 			if costLB >= curCost {
+				stats.Prunes[trace.PrunePairBound]++
 				continue
 			}
 			pairs = append(pairs, pairCand{i: i, j: j, dij: dij, costLB: costLB})
@@ -82,6 +99,7 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 
 	for _, p := range pairs {
 		if p.costLB >= curCost {
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			break // ascending order: nothing later can improve
 		}
 		oi, oj := &cands[p.i], &cands[p.j]
@@ -115,6 +133,15 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 			}
 		}
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if searchSp != nil {
+		searchSp.Attr("pairs", float64(len(pairs)))
+		searchSp.Attr("owners_tried", float64(stats.OwnersTried))
+		searchSp.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		searchSp.Attr("cost", curCost)
+	}
+	searchSp.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: cost, Stats: stats}, nil

@@ -18,6 +18,7 @@ import (
 
 	"coskq/internal/dataset"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // sumMaxExact finds the optimal SumMax set.
@@ -26,17 +27,29 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
 
+	algo := e.tr.Begin("summax_exact")
+	seedSp := e.tr.Begin("seed_appro")
 	seedRes, err := e.sumMaxAppro(q)
+	seedSp.End()
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet, curCost := seedRes.Set, seedRes.Cost
-	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated}
+	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated, Prunes: seedRes.Stats.Prunes}
+	stats.Phases.Seed = time.Since(start)
 
 	// Each member contributes its own distance to the sum, so members of
 	// any improving set lie inside C(q, curCost).
+	matSp := e.tr.Begin("materialize")
+	matStart := time.Now()
 	cands := e.sumCandidates(q, qi, curCost)
 	stats.CandidatesSeen = len(cands)
+	stats.Phases.Materialize = time.Since(matStart)
+	if matSp != nil {
+		matSp.Attr("candidates", float64(stats.CandidatesSeen))
+	}
+	matSp.End()
 
 	minDistFor := make([]float64, qi.Size())
 	bitCands := make([][]int, qi.Size())
@@ -63,6 +76,8 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 		return lb
 	}
 
+	searchSp := e.tr.Begin("search")
+	searchStart := time.Now()
 	var chosen []int
 	var dfs func(covered kwds.Mask, sum, maxPair float64)
 	dfs = func(covered kwds.Mask, sum, maxPair float64) {
@@ -80,6 +95,7 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 			return
 		}
 		if sum+maxPair+completion(covered) >= curCost {
+			stats.Prunes[trace.PruneCompletionBound]++
 			return
 		}
 		branch, branchLen := -1, math.MaxInt32
@@ -94,6 +110,7 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 		for _, ci := range bitCands[branch] {
 			c := cands[ci]
 			if c.mask&^covered == 0 {
+				stats.Prunes[trace.PruneNoNewKeyword]++
 				continue
 			}
 			np := maxPair
@@ -103,6 +120,7 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 				}
 			}
 			if sum+c.d+np >= curCost {
+				stats.Prunes[trace.PruneSumBound]++
 				continue
 			}
 			chosen = append(chosen, ci)
@@ -111,6 +129,14 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 		}
 	}
 	dfs(0, 0, 0)
+	stats.Phases.Search = time.Since(searchStart)
+	if searchSp != nil {
+		searchSp.Attr("nodes", float64(stats.NodesExpanded))
+		searchSp.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		searchSp.Attr("cost", curCost)
+	}
+	searchSp.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: SumMax, Stats: stats}, nil
@@ -120,16 +146,21 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 func (e *Engine) sumMaxAppro(q Query) (Result, error) {
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, curCost, df, err := e.nnSeed(q, SumMax)
+	algo := e.tr.Begin("summax_appro")
+	var stats Stats
+	seed, curCost, df, err := e.nnSeed(q, SumMax, &stats)
 	if err != nil {
+		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
 	var pool []cand
 	set := make([]dataset.ObjectID, 0, qi.Size()+1)
 
+	loop := e.tr.Begin("owner_loop")
+	searchStart := time.Now()
 	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
 	it.Limit(curCost)
 	for {
@@ -138,12 +169,14 @@ func (e *Engine) sumMaxAppro(q Query) (Result, error) {
 			break
 		}
 		if dof >= curCost {
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			break // cost(S) ≥ Σ d ≥ d(owner, q)
 		}
 		ownerMask := qi.MaskOf(o.Keywords)
 		pool = append(pool, cand{o: o, d: dof, mask: ownerMask})
 		stats.CandidatesSeen++
 		if dof < df {
+			stats.Prunes[trace.PruneOwnerRing]++
 			continue
 		}
 		stats.OwnersTried++
@@ -174,6 +207,7 @@ func (e *Engine) sumMaxAppro(q Query) (Result, error) {
 			set = append(set, pool[bestIdx].o.ID)
 			sum += pool[bestIdx].d
 			if sum >= curCost {
+				stats.Prunes[trace.PruneSumBound]++
 				feasible = false // partial sum already exceeds the incumbent
 				break
 			}
@@ -187,6 +221,15 @@ func (e *Engine) sumMaxAppro(q Query) (Result, error) {
 			it.Limit(curCost)
 		}
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("candidates", float64(stats.CandidatesSeen))
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		loop.Attr("cost", curCost)
+	}
+	loop.End()
+	algo.End()
 
 	stats.Elapsed = time.Since(start)
 	return Result{Set: curSet, Cost: curCost, Cost2: SumMax, Stats: stats}, nil

@@ -18,6 +18,7 @@ import (
 
 	"coskq/internal/dataset"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // topKHeap keeps the best k candidate sets found so far, deduplicated by
@@ -98,20 +99,27 @@ func (e *Engine) topK(q Query, cost CostKind, k int) (res []Result, err error) {
 	}
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
-	seed, seedCost, df, err := e.nnSeed(q, cost)
+	algo := e.tr.Begin("topk")
+	var stats Stats
+	seed, seedCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
+		algo.End()
 		return nil, err
 	}
-	stats := Stats{SetsEvaluated: 1}
+	stats.SetsEvaluated = 1
 
 	_ = seedCost // the irredundant form may be cheaper; recompute below
 	top := newTopKHeap(k)
+	verifySp := e.tr.Begin("verify")
 	seedSet := irredundant(e, qi, canonical(seed))
 	top.offer(seedSet, e.EvalCost(cost, q.Loc, seedSet), cost)
+	verifySp.End()
 
 	var pool []cand
 	bitCands := make([][]int32, qi.Size())
 
+	loop := e.tr.Begin("owner_loop")
+	searchStart := time.Now()
 	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
 	for {
 		it.Limit(top.bound())
@@ -120,6 +128,7 @@ func (e *Engine) topK(q Query, cost CostKind, k int) (res []Result, err error) {
 			break
 		}
 		if dof >= top.bound() {
+			stats.Prunes[trace.PruneIncumbentBreak]++
 			break // every further set costs at least d(owner, q)
 		}
 		mask := qi.MaskOf(o.Keywords)
@@ -133,11 +142,24 @@ func (e *Engine) topK(q Query, cost CostKind, k int) (res []Result, err error) {
 		stats.CandidatesSeen++
 		e.pollCancel(stats.CandidatesSeen)
 		if dof < df {
+			stats.Prunes[trace.PruneOwnerRing]++
 			continue
 		}
 		stats.OwnersTried++
 		e.allSetsWithOwner(q, qi, cost, pool, bitCands, int(idx), top, &stats)
 	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("candidates", float64(stats.CandidatesSeen))
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("nodes", float64(stats.NodesExpanded))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+	}
+	loop.End()
+	algo.End()
+	// TopKCtx does not route through SolveCtx, so fold the prune counters
+	// into the trace here.
+	e.tr.AddPrunes(stats.Prunes)
 
 	for i := range top.sets {
 		top.sets[i].Stats = stats
@@ -177,6 +199,7 @@ func (e *Engine) allSetsWithOwner(q Query, qi *kwds.QueryIndex, cost CostKind, p
 	dof := owner.d
 
 	if combine(cost, dof, 0) >= top.bound() {
+		stats.Prunes[trace.PruneOwnerBound]++
 		return
 	}
 	if qi.Full()&^owner.mask == 0 {
@@ -212,6 +235,7 @@ func (e *Engine) allSetsWithOwner(q Query, qi *kwds.QueryIndex, cost CostKind, p
 		for _, ci := range bitCands[branchBit] {
 			c := pool[ci]
 			if c.mask&^covered == 0 {
+				stats.Prunes[trace.PruneNoNewKeyword]++
 				continue
 			}
 			np := maxPair
@@ -224,6 +248,7 @@ func (e *Engine) allSetsWithOwner(q Query, qi *kwds.QueryIndex, cost CostKind, p
 				}
 			}
 			if combine(cost, dof, np) >= top.bound() {
+				stats.Prunes[trace.PrunePairBound]++
 				continue
 			}
 			chosen = append(chosen, ci)

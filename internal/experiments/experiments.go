@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -22,6 +23,7 @@ import (
 	"coskq/internal/datagen"
 	"coskq/internal/dataset"
 	"coskq/internal/stats"
+	"coskq/internal/trace"
 )
 
 // Options configures a run of the experiment suite.
@@ -47,6 +49,11 @@ type Options struct {
 	// builds, so one run accumulates the same latency/effort histograms
 	// the server exposes on /metrics (coskq-bench -metrics prints them).
 	Metrics *core.EngineMetrics
+	// SlowLog, when non-nil, receives a full execution trace for every
+	// query the sweeps run, retaining the slowest (coskq-bench -trace
+	// prints them after the run). Tracing every execution costs a few
+	// percent; leave nil for timing-faithful runs.
+	SlowLog *trace.SlowLog
 }
 
 // newEngine builds an engine for one experiment dataset with the suite's
@@ -111,7 +118,7 @@ func newCell() *cell {
 // aggregates per-algorithm cells. Approximation ratios are measured
 // against the owner-driven exact result, which the paper proves optimal
 // (and which this repository property-tests against a brute-force oracle).
-func runSetting(eng *core.Engine, cost core.CostKind, queries []core.Query, algos []algo, budget int) map[string]*cell {
+func runSetting(eng *core.Engine, cost core.CostKind, queries []core.Query, algos []algo, budget int, slow *trace.SlowLog) map[string]*cell {
 	cells := make(map[string]*cell, len(algos))
 	for _, a := range algos {
 		cells[a.name] = newCell()
@@ -119,13 +126,37 @@ func runSetting(eng *core.Engine, cost core.CostKind, queries []core.Query, algo
 	eng.NodeBudget = budget
 	defer func() { eng.NodeBudget = 0 }()
 
+	// solve runs one execution, traced into the slow log when enabled.
+	solve := func(q core.Query, m core.Method, name string) (core.Result, error) {
+		if slow == nil {
+			return eng.Solve(q, cost, m)
+		}
+		tr := trace.New(name)
+		start := time.Now()
+		res, err := eng.SolveCtx(trace.NewContext(context.Background(), tr), q, cost, m)
+		elapsed := time.Since(start)
+		tr.Finish()
+		e := trace.Entry{
+			Time:      time.Now(),
+			Query:     fmt.Sprintf("%s cost=%v |q.ψ|=%d", name, cost, q.Keywords.Len()),
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+			Trace:     tr.Export(),
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		slow.Observe(e)
+		return res, err
+	}
+
+	exactName := algos[0].name // algos[0] is always the owner-driven exact
 	for _, q := range queries {
-		opt, optErr := eng.Solve(q, cost, core.OwnerExact)
+		opt, optErr := solve(q, core.OwnerExact, exactName)
 		optKnown := optErr == nil
 		for _, a := range algos {
 			res, err := opt, optErr
 			if a.method != core.OwnerExact {
-				res, err = eng.Solve(q, cost, a.method)
+				res, err = solve(q, a.method, a.name)
 			}
 			switch {
 			case err == core.ErrInfeasible:
@@ -237,7 +268,7 @@ func querySweep(opt Options, id string, ds *dataset.Dataset, cost core.CostKind,
 	printAlgoHeader(opt.Out, "|q.ψ|", algos)
 	for _, k := range sizes {
 		queries := genQueries(eng, opt.Queries, k, opt.Seed+int64(k))
-		cells := runSetting(eng, cost, queries, algos, opt.NodeBudget)
+		cells := runSetting(eng, cost, queries, algos, opt.NodeBudget, opt.SlowLog)
 		printCells(opt.Out, fmt.Sprintf("%d", k), algos, cells)
 	}
 }
@@ -289,7 +320,7 @@ func avgKeywordSweep(opt Options, id string, cost core.CostKind) {
 		}
 		eng := opt.newEngine(ds)
 		queries := genQueries(eng, opt.Queries, 10, opt.Seed+int64(target)*7)
-		cells := runSetting(eng, cost, queries, algos, opt.NodeBudget)
+		cells := runSetting(eng, cost, queries, algos, opt.NodeBudget, opt.SlowLog)
 		printCells(opt.Out, fmt.Sprintf("%.0f", target), algos, cells)
 	}
 }
@@ -319,7 +350,7 @@ func scalabilitySweep(opt Options, id string, cost core.CostKind) {
 		build := time.Since(buildStart)
 		ts := eng.Tree.Stats()
 		queries := genQueries(eng, opt.Queries, 10, opt.Seed+int64(n)*3)
-		cells := runSetting(eng, cost, queries, algos, opt.NodeBudget)
+		cells := runSetting(eng, cost, queries, algos, opt.NodeBudget, opt.SlowLog)
 		printCells(opt.Out, fmt.Sprintf("%dk", n/1000), algos, cells)
 		fmt.Fprintf(opt.Out, "%-12s index build %s (%d nodes, height %d, %d keyword-union entries)\n",
 			"", stats.FmtDuration(build), ts.Nodes, ts.Height, ts.KeywordUnions)

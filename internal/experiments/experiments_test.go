@@ -7,6 +7,7 @@ import (
 
 	"coskq/internal/core"
 	"coskq/internal/datagen"
+	"coskq/internal/trace"
 )
 
 // tinyOptions keeps the suite fast for unit testing.
@@ -76,7 +77,7 @@ func TestRunSettingRatiosSane(t *testing.T) {
 	eng := core.NewEngine(ds, 0)
 	queries := genQueries(eng, 10, 3, 7)
 	algos := algosFor(core.MaxSum)
-	cells := runSetting(eng, core.MaxSum, queries, algos, 0)
+	cells := runSetting(eng, core.MaxSum, queries, algos, 0, nil)
 	for _, a := range algos {
 		c := cells[a.name]
 		if a.exact {
@@ -95,6 +96,31 @@ func TestRunSettingRatiosSane(t *testing.T) {
 	}
 }
 
+// TestRunSettingSlowLog: with a slow log attached, every execution is
+// traced and the slowest are retained with non-empty trace trees.
+func TestRunSettingSlowLog(t *testing.T) {
+	ds := datagen.Generate(datagen.Config{
+		Name: "slow", NumObjects: 2000, VocabSize: 60, AvgKeywords: 4, Seed: 9,
+	})
+	eng := core.NewEngine(ds, 0)
+	queries := genQueries(eng, 5, 3, 11)
+	algos := algosFor(core.MaxSum)
+	slow := trace.NewSlowLog(4)
+	runSetting(eng, core.MaxSum, queries, algos, 0, slow)
+	entries := slow.Snapshot()
+	if len(entries) != 4 {
+		t.Fatalf("slow log retained %d entries, want 4", len(entries))
+	}
+	for i, e := range entries {
+		if e.Trace == nil || e.Trace.SpanCount() < 2 {
+			t.Fatalf("entry %d: trace missing or trivial (%+v)", i, e.Trace)
+		}
+		if e.Query == "" {
+			t.Fatalf("entry %d has no query description", i)
+		}
+	}
+}
+
 func TestRunSettingDNFCounting(t *testing.T) {
 	ds := datagen.Generate(datagen.Config{
 		Name: "dnf", NumObjects: 3000, VocabSize: 40, AvgKeywords: 6, Seed: 6,
@@ -102,7 +128,7 @@ func TestRunSettingDNFCounting(t *testing.T) {
 	eng := core.NewEngine(ds, 0)
 	queries := genQueries(eng, 5, 6, 8)
 	algos := algosFor(core.MaxSum)
-	cells := runSetting(eng, core.MaxSum, queries, algos, 1) // impossible budget
+	cells := runSetting(eng, core.MaxSum, queries, algos, 1, nil) // impossible budget
 	for _, a := range algos {
 		c := cells[a.name]
 		if a.exact && c.dnf == 0 {

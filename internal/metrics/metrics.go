@@ -164,16 +164,38 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
-// baseName strips a label suffix: `a_total{x="y"}` → `a_total`.
-func baseName(name string) string {
+// splitName separates a label suffix from a metric name:
+// `a_total{x="y"}` → (`a_total`, `x="y"`); an unlabeled name returns
+// labels == "".
+func splitName(name string) (base, labels string) {
 	if i := len(name) - 1; i >= 0 && name[i] == '}' {
 		for j := 0; j < len(name); j++ {
 			if name[j] == '{' {
-				return name[:j]
+				return name[:j], name[j+1 : i]
 			}
 		}
 	}
-	return name
+	return name, ""
+}
+
+// baseName strips a label suffix: `a_total{x="y"}` → `a_total`.
+func baseName(name string) string {
+	base, _ := splitName(name)
+	return base
+}
+
+// sortByFamily orders names so every label series of a base name is
+// contiguous (base first, then the full name), keeping exposition
+// grouping stable: `h`, `h{a="1"}`, `h2` — not `h`, `h2`, `h{a="1"}`
+// as a plain string sort would give ('{' > any name character).
+func sortByFamily(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		bi, bj := baseName(names[i]), baseName(names[j])
+		if bi != bj {
+			return bi < bj
+		}
+		return names[i] < names[j]
+	})
 }
 
 func formatBound(b float64) string {
@@ -181,9 +203,11 @@ func formatBound(b float64) string {
 }
 
 // WriteText renders every registered metric in the Prometheus text
-// exposition format, sorted by name: counters as `name value`, histograms
-// as cumulative `name_bucket{le="…"}` series plus `name_sum` and
-// `name_count`.
+// exposition format: counters as `name value`, histograms as cumulative
+// `name_bucket{le="…"}` series plus `name_sum` and `name_count`. Series
+// are sorted by (family, name) with one `# TYPE` line per family, so for
+// a fixed set of values the output is byte-for-byte deterministic —
+// scrape diffing and golden tests can rely on it.
 func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.RLock()
 	counterNames := make([]string, 0, len(r.counters))
@@ -204,8 +228,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	r.mu.RUnlock()
 
-	sort.Strings(counterNames)
-	sort.Strings(histNames)
+	sortByFamily(counterNames)
+	sortByFamily(histNames)
 
 	lastType := ""
 	for _, name := range counterNames {
@@ -219,26 +243,37 @@ func (r *Registry) WriteText(w io.Writer) error {
 			return err
 		}
 	}
+	lastType = ""
 	for _, name := range histNames {
-		s := hists[name].Snapshot()
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
-			return err
+		base, labels := splitName(name)
+		if base != lastType {
+			lastType = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", base); err != nil {
+				return err
+			}
 		}
+		// A label suffix moves inside the derived series: the `le` label
+		// joins the histogram's own labels on each bucket line.
+		suffix, lePrefix := "", ""
+		if labels != "" {
+			suffix, lePrefix = "{"+labels+"}", labels+","
+		}
+		s := hists[name].Snapshot()
 		cum := uint64(0)
 		for i, b := range s.Bounds {
 			cum += s.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatBound(b), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", base, lePrefix, formatBound(b), cum); err != nil {
 				return err
 			}
 		}
 		cum += s.Counts[len(s.Bounds)]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, lePrefix, cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(s.Sum, 'g', -1, 64)); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", base, suffix, strconv.FormatFloat(s.Sum, 'g', -1, 64)); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_count %d\n", name, s.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", base, suffix, s.Count); err != nil {
 			return err
 		}
 	}

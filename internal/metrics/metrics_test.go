@@ -2,6 +2,9 @@ package metrics
 
 import (
 	"math"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -131,5 +134,160 @@ func TestWriteTextExposition(t *testing.T) {
 	// One TYPE line for the whole labeled counter family.
 	if n := strings.Count(out, "# TYPE coskq_queries_total"); n != 1 {
 		t.Errorf("%d TYPE lines for coskq_queries_total, want 1", n)
+	}
+}
+
+// expositionLine matches either a TYPE comment or a sample line of the
+// Prometheus text format: `name value` or `name{labels} value`.
+var (
+	typeLine   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|histogram)$`)
+	sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (\+Inf|-?[0-9].*)$`)
+)
+
+// buildExpositionFixture populates a registry the way the serve path
+// does: plain and labeled counters, plus plain and labeled histograms.
+func buildExpositionFixture() *Registry {
+	r := NewRegistry()
+	r.Counter("coskq_queries_total").Add(7)
+	r.Counter(`coskq_queries_total{cost="MaxSum",method="OwnerExact"}`).Add(4)
+	r.Counter(`coskq_queries_total{cost="Dia",method="Cao-Exact"}`).Add(3)
+	r.Counter("coskq_query_errors_total").Inc()
+	h := r.Histogram("coskq_query_seconds", []float64{0.001, 0.1, 10})
+	for _, v := range []float64{0.0004, 0.002, 0.05, 3, 1e6} {
+		h.Observe(v)
+	}
+	hl := r.Histogram(`coskq_query_seconds{cost="MaxSum"}`, []float64{0.001, 0.1})
+	hl.Observe(0.01)
+	return r
+}
+
+// TestWriteTextStrictFormat parses the exposition line by line: every
+// line must be a well-formed TYPE comment or sample, every sample's
+// family must be declared by a preceding TYPE line, bucket series must
+// be cumulative (monotone, ending at the count), and TYPE families must
+// appear in sorted order exactly once.
+func TestWriteTextStrictFormat(t *testing.T) {
+	r := buildExpositionFixture()
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasSuffix(out, "\n") {
+		t.Fatal("exposition does not end in a newline")
+	}
+
+	declared := map[string]string{} // family -> kind
+	var families []string
+	lastBucket := map[string]uint64{} // series (with labels minus le) -> last cumulative value
+	counts := map[string]uint64{}     // family{labels} -> _count value
+	for ln, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			m := typeLine.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: malformed TYPE comment %q", ln+1, line)
+			}
+			fam := strings.Fields(line)[2]
+			if _, dup := declared[fam]; dup {
+				t.Fatalf("line %d: family %s declared twice", ln+1, fam)
+			}
+			declared[fam] = m[1]
+			families = append(families, fam)
+			continue
+		}
+		m := sampleLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("line %d: malformed sample %q", ln+1, line)
+		}
+		name, labels, value := m[1], m[2], m[4]
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			t.Fatalf("line %d: unparseable value %q: %v", ln+1, value, err)
+		}
+		fam := name
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, sfx); base != name && declared[base] == "histogram" {
+				fam = base
+			}
+		}
+		if declared[fam] == "" {
+			t.Fatalf("line %d: sample %q precedes its TYPE declaration", ln+1, line)
+		}
+		if declared[fam] == "histogram" {
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				series := fam + stripLe(labels)
+				cum, err := strconv.ParseUint(value, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: bucket value %q: %v", ln+1, value, err)
+				}
+				if cum < lastBucket[series] {
+					t.Fatalf("line %d: bucket series %s not cumulative (%d after %d)", ln+1, series, cum, lastBucket[series])
+				}
+				lastBucket[series] = cum
+			case strings.HasSuffix(name, "_count"):
+				n, _ := strconv.ParseUint(value, 10, 64)
+				counts[fam+labels] = n
+			}
+		}
+	}
+
+	if !sort.StringsAreSorted(families) {
+		t.Fatalf("TYPE families out of order: %v", families)
+	}
+	if len(counts) == 0 {
+		t.Fatal("no histogram _count series parsed")
+	}
+	for series, n := range counts {
+		if got := lastBucket[series]; got != n {
+			t.Fatalf("series %s: +Inf bucket %d != count %d", series, got, n)
+		}
+	}
+}
+
+// stripLe removes the le label from a bucket label set, leaving the
+// histogram's own labels: `{cost="X",le="1"}` → `{cost="X"}`, `{le="1"}` → ``.
+func stripLe(labels string) string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	var kept []string
+	for _, kv := range strings.Split(inner, ",") {
+		if !strings.HasPrefix(kv, "le=") {
+			kept = append(kept, kv)
+		}
+	}
+	if len(kept) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(kept, ",") + "}"
+}
+
+// TestWriteTextDeterministic: two renders of the same registry are
+// byte-for-byte identical, and a labeled histogram family gets one TYPE
+// line with valid derived series names.
+func TestWriteTextDeterministic(t *testing.T) {
+	r := buildExpositionFixture()
+	render := func() string {
+		var sb strings.Builder
+		if err := r.WriteText(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := render()
+	for i := 0; i < 10; i++ {
+		if got := render(); got != first {
+			t.Fatalf("render %d differs from first:\n%s\n---\n%s", i, got, first)
+		}
+	}
+	if n := strings.Count(first, "# TYPE coskq_query_seconds histogram"); n != 1 {
+		t.Errorf("%d TYPE lines for coskq_query_seconds, want 1", n)
+	}
+	for _, want := range []string{
+		`coskq_query_seconds_bucket{cost="MaxSum",le="0.1"} 1` + "\n",
+		`coskq_query_seconds_sum{cost="MaxSum"} 0.01` + "\n",
+		`coskq_query_seconds_count{cost="MaxSum"} 1` + "\n",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("exposition missing %q:\n%s", want, first)
+		}
 	}
 }

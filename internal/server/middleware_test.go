@@ -3,7 +3,7 @@ package server
 import (
 	"encoding/json"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -161,11 +161,11 @@ func TestServerTimeoutEndToEnd(t *testing.T) {
 // panic is logged, not propagated to the connection.
 func TestRecoverMiddleware(t *testing.T) {
 	var logged strings.Builder
-	logger := log.New(&logged, "", 0)
+	s := &server{log: slog.New(slog.NewTextHandler(&logged, nil))}
 	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("boom")
 	})
-	srv := httptest.NewServer(recoverMiddleware(logger, boom))
+	srv := httptest.NewServer(s.recoverMiddleware(boom))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL)
 	if err != nil {
@@ -187,7 +187,7 @@ func TestRecoverMiddlewareThroughTimeout(t *testing.T) {
 	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		panic("deep boom")
 	})
-	h := recoverMiddleware(nil, timeoutMiddleware(time.Second, boom))
+	h := (&server{}).recoverMiddleware(timeoutMiddleware(time.Second, boom))
 	srv := httptest.NewServer(h)
 	defer srv.Close()
 	resp, err := http.Get(srv.URL)
@@ -205,15 +205,21 @@ func TestRequestLogging(t *testing.T) {
 	b := dataset.NewBuilder("city")
 	b.Add(geo.Point{X: 1, Y: 0}, "cafe")
 	eng := core.NewEngine(b.Build(), 0)
-	srv := httptest.NewServer(NewWith(eng, Options{Logger: log.New(&logged, "", 0)}))
+	srv := httptest.NewServer(NewWith(eng, Options{Logger: slog.New(slog.NewTextHandler(&logged, nil))}))
 	defer srv.Close()
 	resp, err := http.Get(srv.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if line := logged.String(); !strings.Contains(line, "GET /healthz 200") {
-		t.Fatalf("log line = %q", line)
+	line := logged.String()
+	for _, want := range []string{"method=GET", "uri=/healthz", "status=200", "id="} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("log line %q missing %q", line, want)
+		}
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Fatal("missing X-Request-Id response header")
 	}
 }
 

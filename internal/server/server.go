@@ -5,24 +5,28 @@
 // The handler stack (outermost first) is panic recovery → request
 // logging + HTTP metrics → per-request timeout → route mux, serving:
 //
-//	GET /stats    dataset statistics
-//	GET /query    one CoSKQ answer
-//	GET /topk     the n cheapest irredundant sets
-//	GET /healthz  liveness probe
-//	GET /metrics  text exposition of the query/effort/latency metrics
+//	GET /stats          dataset statistics
+//	GET /query          one CoSKQ answer (?explain=1 inlines the trace)
+//	GET /topk           the n cheapest irredundant sets (?explain=1 too)
+//	GET /healthz        liveness probe
+//	GET /metrics        text exposition of the query/effort/latency metrics
+//	GET /debug/slowlog  the retained slowest query traces
 package server
 
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"coskq/internal/core"
@@ -31,11 +35,16 @@ import (
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
 	"coskq/internal/metrics"
+	"coskq/internal/trace"
 )
 
+// DefaultSlowLogSize is the slow-query log capacity used when
+// Options.SlowLog is zero.
+const DefaultSlowLogSize = 16
+
 // Options configures the robustness layer around the query handlers.
-// The zero value disables the timeout and logging and uses a fresh
-// metrics registry.
+// The zero value disables the timeout and logging, uses a fresh
+// metrics registry, and retains DefaultSlowLogSize slow queries.
 type Options struct {
 	// Timeout bounds each request's total handling time. At the deadline
 	// the request context is cancelled — aborting an in-flight search via
@@ -43,15 +52,20 @@ type Options struct {
 	// a JSON body. Zero disables the middleware (handlers still honour
 	// cancellation of the client connection's context).
 	Timeout time.Duration
-	// Logger receives one line per request (method, URI, status,
-	// duration) and panic reports. Nil disables logging.
-	Logger *log.Logger
+	// Logger receives one structured record per request (request id,
+	// method, URI, status, duration) and panic reports. Nil disables
+	// logging.
+	Logger *slog.Logger
 	// Registry collects HTTP-layer metrics and backs GET /metrics. Nil
 	// means: reuse the engine sink's registry when the engine has one,
 	// else create a fresh registry. When the engine has no metrics sink,
 	// one recording into this registry is attached, so engine and HTTP
 	// metrics share a single exposition.
 	Registry *metrics.Registry
+	// SlowLog sets the capacity of the slow-query log served at
+	// GET /debug/slowlog. Zero means DefaultSlowLogSize; negative
+	// disables the log (and the per-query tracing feeding it).
+	SlowLog int
 }
 
 // New returns the handler stack over eng with default options.
@@ -74,7 +88,23 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	s := &server{
 		eng:         eng,
 		reg:         reg,
+		log:         opts.Logger,
 		httpLatency: reg.Histogram("coskq_http_request_seconds", httpLatencyBuckets),
+	}
+	if opts.SlowLog >= 0 {
+		size := opts.SlowLog
+		if size == 0 {
+			size = DefaultSlowLogSize
+		}
+		s.slow = trace.NewSlowLog(size)
+	}
+	// idToken makes request ids unique across server instances; id
+	// generation itself is one atomic increment.
+	var tok [4]byte
+	if _, err := rand.Read(tok[:]); err == nil {
+		s.idToken = hex.EncodeToString(tok[:])
+	} else {
+		s.idToken = "static"
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -82,12 +112,14 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	mux.HandleFunc("GET /topk", s.handleTopK)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	var h http.Handler = mux
 	if opts.Timeout > 0 {
 		h = timeoutMiddleware(opts.Timeout, h)
 	}
-	h = s.observeMiddleware(opts.Logger, h)
-	h = recoverMiddleware(opts.Logger, h)
+	h = s.observeMiddleware(h)
+	h = s.recoverMiddleware(h)
+	h = s.requestIDMiddleware(h)
 	return h
 }
 
@@ -98,7 +130,32 @@ var httpLatencyBuckets = []float64{
 type server struct {
 	eng         *core.Engine
 	reg         *metrics.Registry
+	log         *slog.Logger
+	slow        *trace.SlowLog
 	httpLatency *metrics.Histogram
+	idToken     string
+	idCounter   atomic.Uint64
+}
+
+// requestIDKey keys the request id in the request context.
+type requestIDKey struct{}
+
+// requestIDFrom returns the request id assigned by requestIDMiddleware,
+// or "" outside the middleware stack.
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// requestIDMiddleware assigns each request a unique id, echoes it in the
+// X-Request-Id response header, and carries it in the request context so
+// log lines and slow-log entries correlate with responses.
+func (s *server) requestIDMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%s-%d", s.idToken, s.idCounter.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+	})
 }
 
 // routeLabel maps a request path onto the bounded label vocabulary used
@@ -106,7 +163,7 @@ type server struct {
 // path-scanning client cannot grow the metric set).
 func routeLabel(path string) string {
 	switch path {
-	case "/stats", "/query", "/topk", "/healthz", "/metrics":
+	case "/stats", "/query", "/topk", "/healthz", "/metrics", "/debug/slowlog":
 		return path
 	default:
 		return "other"
@@ -114,8 +171,8 @@ func routeLabel(path string) string {
 }
 
 // observeMiddleware records the per-request counter/latency metrics and,
-// when a logger is configured, one log line per request.
-func (s *server) observeMiddleware(logger *log.Logger, next http.Handler) http.Handler {
+// when a logger is configured, one structured record per request.
+func (s *server) observeMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w}
@@ -128,8 +185,13 @@ func (s *server) observeMiddleware(logger *log.Logger, next http.Handler) http.H
 		s.reg.Counter(fmt.Sprintf("coskq_http_requests_total{path=%q,status=\"%d\"}",
 			routeLabel(r.URL.Path), status)).Inc()
 		s.httpLatency.Observe(elapsed.Seconds())
-		if logger != nil {
-			logger.Printf("%s %s %d %s", r.Method, r.URL.RequestURI(), status, elapsed.Round(time.Microsecond))
+		if s.log != nil {
+			s.log.Info("request",
+				"id", requestIDFrom(r.Context()),
+				"method", r.Method,
+				"uri", r.URL.RequestURI(),
+				"status", status,
+				"dur", elapsed.Round(time.Microsecond))
 		}
 	})
 }
@@ -157,7 +219,7 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 // recoverMiddleware converts handler panics into a JSON 500 instead of
 // tearing down the connection, preserving http.ErrAbortHandler's
 // contract.
-func recoverMiddleware(logger *log.Logger, next http.Handler) http.Handler {
+func (s *server) recoverMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			p := recover()
@@ -167,8 +229,13 @@ func recoverMiddleware(logger *log.Logger, next http.Handler) http.Handler {
 			if p == http.ErrAbortHandler {
 				panic(p)
 			}
-			if logger != nil {
-				logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			if s.log != nil {
+				s.log.Error("panic",
+					"id", requestIDFrom(r.Context()),
+					"method", r.Method,
+					"path", r.URL.Path,
+					"panic", fmt.Sprint(p),
+					"stack", string(debug.Stack()))
 			}
 			jsonError(w, http.StatusInternalServerError, "internal server error")
 		}()
@@ -323,11 +390,68 @@ type objectJSON struct {
 }
 
 type queryResponse struct {
-	Cost      float64      `json:"cost"`
-	CostKind  string       `json:"costKind"`
-	Method    string       `json:"method"`
-	ElapsedMs float64      `json:"elapsedMs"`
-	Objects   []objectJSON `json:"objects"`
+	Cost      float64       `json:"cost"`
+	CostKind  string        `json:"costKind"`
+	Method    string        `json:"method"`
+	ElapsedMs float64       `json:"elapsedMs"`
+	Objects   []objectJSON  `json:"objects"`
+	Trace     *trace.Export `json:"trace,omitempty"`
+}
+
+// beginTrace decides whether this request is traced — explicitly via
+// ?explain=1, or implicitly to feed the slow-query log — and returns the
+// (possibly unchanged) context plus the trace.
+func (s *server) beginTrace(r *http.Request, root string) (context.Context, *trace.Trace, bool) {
+	explain := r.URL.Query().Get("explain") == "1"
+	if !explain && s.slow == nil {
+		return r.Context(), nil, false
+	}
+	tr := trace.New(root)
+	return trace.NewContext(r.Context(), tr), tr, explain
+}
+
+// finishTrace stamps the trace, offers it to the slow-query log, and
+// returns the export for inlining in the response.
+func (s *server) finishTrace(r *http.Request, tr *trace.Trace, elapsed time.Duration, err error) *trace.Export {
+	if tr == nil {
+		return nil
+	}
+	tr.Finish()
+	x := tr.Export()
+	if s.slow != nil {
+		e := trace.Entry{
+			Time:      time.Now(),
+			ID:        requestIDFrom(r.Context()),
+			Query:     r.URL.RequestURI(),
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+			Trace:     x,
+		}
+		if err != nil {
+			e.Err = err.Error()
+		}
+		s.slow.Observe(e)
+	}
+	return x
+}
+
+// slowLogResponse is the GET /debug/slowlog body.
+type slowLogResponse struct {
+	Capacity int           `json:"capacity"`
+	Entries  []trace.Entry `json:"entries"`
+}
+
+// handleSlowLog serves the retained slowest query executions, slowest
+// first, each with its full trace.
+func (s *server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
+	if s.slow == nil {
+		jsonError(w, http.StatusNotFound, "slow-query log disabled")
+		return
+	}
+	entries := s.slow.Snapshot()
+	if entries == nil {
+		entries = []trace.Entry{}
+	}
+	writeJSON(w, slowLogResponse{Capacity: s.slow.Cap(), Entries: entries})
 }
 
 // parseQuery extracts the common query parameters (location, keywords,
@@ -445,22 +569,30 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "unknown method %q", r.URL.Query().Get("method"))
 		return
 	}
-	res, err := s.eng.SolveCtx(r.Context(), q, cost, method)
+	ctx, tr, explain := s.beginTrace(r, "query")
+	start := time.Now()
+	res, err := s.eng.SolveCtx(ctx, q, cost, method)
+	x := s.finishTrace(r, tr, time.Since(start), err)
 	if err != nil {
 		writeSolveError(w, err)
 		return
 	}
-	writeJSON(w, queryResponse{
+	resp := queryResponse{
 		Cost:      res.Cost,
 		CostKind:  cost.String(),
 		Method:    method.String(),
 		ElapsedMs: float64(res.Stats.Elapsed.Microseconds()) / 1000,
 		Objects:   s.objectsJSON(q, res.Set),
-	})
+	}
+	if explain {
+		resp.Trace = x
+	}
+	writeJSON(w, resp)
 }
 
 type topKResponse struct {
 	Results []queryResponse `json:"results"`
+	Trace   *trace.Export   `json:"trace,omitempty"`
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
@@ -481,7 +613,10 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	results, err := s.eng.TopKCtx(r.Context(), q, cost, n)
+	ctx, tr, explain := s.beginTrace(r, "topk")
+	start := time.Now()
+	results, err := s.eng.TopKCtx(ctx, q, cost, n)
+	x := s.finishTrace(r, tr, time.Since(start), err)
 	if err != nil {
 		writeSolveError(w, err)
 		return
@@ -493,6 +628,9 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			CostKind: cost.String(),
 			Objects:  s.objectsJSON(q, res.Set),
 		}
+	}
+	if explain {
+		resp.Trace = x
 	}
 	writeJSON(w, resp)
 }

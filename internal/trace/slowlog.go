@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"sync"
+	"time"
+)
+
+// Entry is one retained slow query: what ran, how long it took, and (when
+// the execution was traced) the full trace.
+type Entry struct {
+	Time      time.Time `json:"time"`
+	ID        string    `json:"id,omitempty"` // request id, when served over HTTP
+	Query     string    `json:"query"`        // human-readable query description
+	ElapsedMs float64   `json:"elapsedMs"`
+	Err       string    `json:"error,omitempty"`
+	Trace     *Export   `json:"trace,omitempty"`
+}
+
+// SlowLog retains the k slowest recently observed query executions in a
+// fixed-capacity, mutex-protected buffer: Observe replaces the current
+// fastest retained entry once the buffer is full, so memory stays bounded
+// no matter the request rate. Safe for concurrent use.
+type SlowLog struct {
+	mu      sync.Mutex
+	cap     int
+	entries []Entry
+}
+
+// NewSlowLog returns a log retaining the k slowest entries (k ≥ 1).
+func NewSlowLog(k int) *SlowLog {
+	if k < 1 {
+		k = 1
+	}
+	return &SlowLog{cap: k}
+}
+
+// Cap returns the retention capacity.
+func (l *SlowLog) Cap() int { return l.cap }
+
+// Observe offers one finished execution. It is retained when the buffer
+// has room or when it is slower than the fastest retained entry.
+func (l *SlowLog) Observe(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	fastest := 0
+	for i := 1; i < len(l.entries); i++ {
+		if l.entries[i].ElapsedMs < l.entries[fastest].ElapsedMs {
+			fastest = i
+		}
+	}
+	if e.ElapsedMs > l.entries[fastest].ElapsedMs {
+		l.entries[fastest] = e
+	}
+}
+
+// Snapshot returns the retained entries, slowest first.
+func (l *SlowLog) Snapshot() []Entry {
+	l.mu.Lock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	l.mu.Unlock()
+	// Insertion sort, descending by elapsed: the buffer is small.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].ElapsedMs > out[j-1].ElapsedMs; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := New("query")
+	seed := tr.Begin("nn_seed")
+	seed.Attr("cost", 4.5)
+	seed.End()
+	loop := tr.Begin("owner_loop")
+	sub := tr.Begin("best_with_owner")
+	sub.End()
+	loop.Attr("owners", 3)
+	loop.End()
+	tr.Finish()
+
+	x := tr.Export()
+	if x.Name != "query" {
+		t.Fatalf("root name %q", x.Name)
+	}
+	if len(x.Spans) != 2 {
+		t.Fatalf("root children = %d, want 2", len(x.Spans))
+	}
+	if x.Spans[0].Name != "nn_seed" || x.Spans[1].Name != "owner_loop" {
+		t.Fatalf("span order: %q, %q", x.Spans[0].Name, x.Spans[1].Name)
+	}
+	if len(x.Spans[1].Children) != 1 || x.Spans[1].Children[0].Name != "best_with_owner" {
+		t.Fatalf("sub-span not nested under owner_loop: %+v", x.Spans[1])
+	}
+	if x.Spans[0].Attrs["cost"] != 4.5 {
+		t.Fatalf("attr lost: %v", x.Spans[0].Attrs)
+	}
+	if got := x.SpanCount(); got != 4 {
+		t.Fatalf("SpanCount = %d, want 4 (root + 3)", got)
+	}
+}
+
+func TestNilTraceIsNoOpAndAllocFree(t *testing.T) {
+	var tr *Trace
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := tr.Begin("x")
+		sp.Attr("k", 1)
+		sp.End()
+		sp.Drop()
+		tr.AddPrunes(PruneCounts{})
+		tr.Finish()
+		if tr.Export() != nil {
+			t.Fatal("nil trace exported non-nil")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled trace path allocates: %v allocs/op", allocs)
+	}
+}
+
+func TestFromContextNoTraceAllocFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(100, func() {
+		if FromContext(ctx) != nil {
+			t.Fatal("unexpected trace")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("FromContext allocates on the disabled path: %v allocs/op", allocs)
+	}
+	if FromContext(nil) != nil {
+		t.Fatal("FromContext(nil) != nil")
+	}
+}
+
+func TestContextRoundTrip(t *testing.T) {
+	tr := New("q")
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("trace lost in context")
+	}
+}
+
+func TestDropRemovesSpanAndFreesBudget(t *testing.T) {
+	tr := New("q")
+	loop := tr.Begin("loop")
+	for i := 0; i < 3*DefaultMaxSpans; i++ {
+		sp := tr.Begin("owner")
+		if i == 7 {
+			sp.Attr("improved", 1)
+			sp.End()
+		} else {
+			sp.Drop()
+		}
+	}
+	loop.End()
+	tr.Finish()
+	x := tr.Export()
+	if len(x.Spans) != 1 || len(x.Spans[0].Children) != 1 {
+		t.Fatalf("want exactly the kept owner span, got %+v", x.Spans)
+	}
+	if x.DroppedSpans != 0 {
+		// Dropped spans return their budget, so nothing should be counted
+		// as over-budget here.
+		t.Fatalf("DroppedSpans = %d, want 0", x.DroppedSpans)
+	}
+}
+
+func TestSpanBudgetBounds(t *testing.T) {
+	tr := New("q")
+	for i := 0; i < 2*DefaultMaxSpans; i++ {
+		tr.Begin("s").End()
+	}
+	tr.Finish()
+	x := tr.Export()
+	if len(x.Spans) != DefaultMaxSpans {
+		t.Fatalf("retained %d spans, want %d", len(x.Spans), DefaultMaxSpans)
+	}
+	if x.DroppedSpans != DefaultMaxSpans {
+		t.Fatalf("DroppedSpans = %d, want %d", x.DroppedSpans, DefaultMaxSpans)
+	}
+}
+
+func TestFinishClosesOpenSpans(t *testing.T) {
+	tr := New("q")
+	tr.Begin("outer")
+	tr.Begin("inner") // neither ended: a panic-unwound search does this
+	tr.Finish()
+	x := tr.Export()
+	if len(x.Spans) != 1 || len(x.Spans[0].Children) != 1 {
+		t.Fatalf("open spans lost: %+v", x.Spans)
+	}
+	if x.DurUs < 0 || x.Spans[0].DurUs < 0 {
+		t.Fatal("negative durations")
+	}
+}
+
+func TestPruneCounts(t *testing.T) {
+	var p PruneCounts
+	p[PruneOwnerRing] = 3
+	p[PrunePairBound] = 5
+	var q PruneCounts
+	q[PrunePairBound] = 2
+	p.Merge(q)
+	if p.Total() != 10 {
+		t.Fatalf("Total = %d", p.Total())
+	}
+	m := p.Map()
+	if m["owner_ring"] != 3 || m["pair_bound"] != 7 || len(m) != 2 {
+		t.Fatalf("Map = %v", m)
+	}
+	// Every reason has a distinct stable label.
+	seen := map[string]bool{}
+	for r := PruneReason(0); r < NumPruneReasons; r++ {
+		s := r.String()
+		if seen[s] || strings.HasPrefix(s, "prune_reason_") {
+			t.Fatalf("bad label %q for reason %d", s, r)
+		}
+		seen[s] = true
+	}
+}
+
+func TestExportJSONAndTree(t *testing.T) {
+	tr := New("query MaxSum/OwnerExact")
+	sp := tr.Begin("nn_seed")
+	sp.Attr("d_f", 2.5)
+	sp.End()
+	var p PruneCounts
+	p[PruneIncumbentBreak] = 1
+	tr.AddPrunes(p)
+	tr.Finish()
+
+	b, err := json.Marshal(tr.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"name":"query MaxSum/OwnerExact"`, `"nn_seed"`, `"d_f":2.5`, `"incumbent_break":1`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, b)
+		}
+	}
+
+	var sb strings.Builder
+	tr.Export().WriteTree(&sb)
+	tree := sb.String()
+	if !strings.Contains(tree, "└─ nn_seed") || !strings.Contains(tree, "prunes: incumbent_break=1") {
+		t.Fatalf("tree rendering:\n%s", tree)
+	}
+}
+
+func TestSlowLogKeepsSlowest(t *testing.T) {
+	l := NewSlowLog(3)
+	for i := 1; i <= 10; i++ {
+		l.Observe(Entry{Query: fmt.Sprintf("q%d", i), ElapsedMs: float64(i)})
+	}
+	got := l.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	if got[0].ElapsedMs != 10 || got[1].ElapsedMs != 9 || got[2].ElapsedMs != 8 {
+		t.Fatalf("kept %v, want the 3 slowest, slowest first", got)
+	}
+}
+
+func TestSlowLogConcurrent(t *testing.T) {
+	l := NewSlowLog(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Observe(Entry{Query: "q", ElapsedMs: float64(w*1000 + i), Time: time.Now()})
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := l.Snapshot()
+	if len(got) != 8 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].ElapsedMs > got[i-1].ElapsedMs {
+			t.Fatalf("snapshot not sorted: %v", got)
+		}
+	}
+	// The global slowest observation must have survived.
+	if got[0].ElapsedMs != 7*1000+199 {
+		t.Fatalf("slowest retained = %v, want 7199", got[0].ElapsedMs)
+	}
+}
