@@ -1,0 +1,22 @@
+// Command coskq-lint is the repository's static-analysis suite, packaged
+// as a go vet tool. It machine-checks the engine's safety invariants —
+// budget-panic containment, trace-span balance, cancellation polling in
+// search loops, centralized distance math, and structured logging in the
+// serving path. Run it over the whole repository with:
+//
+//	go build -o bin/coskq-lint ./cmd/coskq-lint
+//	go vet -vettool=$PWD/bin/coskq-lint ./...
+//
+// Each analyzer can be toggled or inspected individually via the
+// standard unitchecker flags (coskq-lint help, -budgetrecover=false, ...).
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"coskq/internal/analysis/coskqlint"
+)
+
+func main() {
+	unitchecker.Main(coskqlint.Analyzers()...)
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles the coskq-lint binary into a temp dir and returns
+// its path along with the repository root.
+func buildLint(t *testing.T) (bin, root string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin = filepath.Join(t.TempDir(), "coskq-lint")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/coskq-lint")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building coskq-lint: %v\n%s", err, out)
+	}
+	return bin, root
+}
+
+// TestLintCleanOnRepo is the gate the CI lint job enforces: the full
+// analyzer suite must pass over the repository itself.
+func TestLintCleanOnRepo(t *testing.T) {
+	bin, root := buildLint(t)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool=coskq-lint ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestLintCatchesViolation verifies the tool actually fires: a module
+// with a package whose import path ends in "server" that logs through
+// the legacy log package must fail vet with a slogonly diagnostic.
+func TestLintCatchesViolation(t *testing.T) {
+	bin, _ := buildLint(t)
+	mod := t.TempDir()
+	write := func(rel, src string) {
+		t.Helper()
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module smoketest\n\ngo 1.22\n")
+	write("server/server.go", `package server
+
+import "log"
+
+func Warn(msg string) { log.Println(msg) }
+`)
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = mod
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet passed over a package that logs via the legacy log package; want a slogonly failure\n%s", out)
+	}
+	if !strings.Contains(string(out), "log/slog") {
+		t.Fatalf("vet failed but without the slogonly diagnostic:\n%s", out)
+	}
+}

@@ -30,7 +30,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -54,6 +53,7 @@ func main() {
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "coskq-server: -data is required")
 		flag.Usage()
@@ -70,9 +70,10 @@ func main() {
 		ds, err = coskq.LoadDataset(*data)
 	}
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("loading dataset", "path", *data, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("dataset %s: %s", ds.Name, ds.Stats())
+	logger.Info("dataset loaded", "name", ds.Name, "stats", ds.Stats().String())
 
 	eng := coskq.NewEngine(ds, 0)
 	eng.NodeBudget = *budget
@@ -82,7 +83,7 @@ func main() {
 	mux := http.NewServeMux()
 	mux.Handle("/", server.NewWith(eng, server.Options{
 		Timeout:  *timeout,
-		Logger:   slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Logger:   logger,
 		Registry: reg,
 		SlowLog:  *slowlog,
 	}))
@@ -92,7 +93,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		log.Printf("pprof enabled on /debug/pprof/")
+		logger.Info("pprof enabled", "path", "/debug/pprof/")
 	}
 
 	srv := &http.Server{
@@ -100,8 +101,9 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	log.Printf("indexes built; listening on %s (timeout %v, budget %d)", *addr, *timeout, *budget)
+	logger.Info("listening", "addr", *addr, "timeout", *timeout, "budget", *budget)
 	if err := srv.ListenAndServe(); err != nil {
-		log.Fatal(err)
+		logger.Error("server exited", "err", err)
+		os.Exit(1)
 	}
 }

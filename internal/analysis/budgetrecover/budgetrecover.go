@@ -1,0 +1,180 @@
+// Package budgetrecover defines an analyzer enforcing the engine's
+// budget-panic containment invariant.
+//
+// The CoSKQ search algorithms unwind deep DFS recursions by panicking
+// with the internal payloads budgetExceeded (node budget exhausted) and
+// searchCanceled (context cancelled); see chargeNode and pollCancel in
+// internal/core. Those panics are an implementation detail: they must be
+// converted back into ErrBudgetExceeded / ctx.Err() before they cross the
+// package's exported API, by a
+//
+//	defer recoverBudget(&err)
+//
+// at the top of the entry point. An exported function that can reach a
+// panic site without such a shield lets an internal panic escape into
+// callers — in the serving path, straight into the HTTP handler.
+package budgetrecover
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check that exported error-returning core functions shield budget panics
+
+Any exported function of the engine package (import path base "core")
+that returns an error and can transitively reach a budget/cancellation
+panic site — a call to chargeNode or pollCancel, or a direct
+panic(budgetExceeded{}) / panic(searchCanceled{...}) — must install
+"defer recoverBudget(&err)" as a top-level statement, unless every path
+to a panic site already passes through a shielded callee.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "budgetrecover",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// panicPayloads are the internal panic payload type names whose panics
+// the shield converts into errors.
+var panicPayloads = map[string]bool{"budgetExceeded": true, "searchCanceled": true}
+
+// funcInfo is the per-function summary the call-graph walk uses.
+type funcInfo struct {
+	decl     *ast.FuncDecl
+	shielded bool          // has top-level defer recoverBudget(...)
+	panics   bool          // directly contains a budget/cancel panic
+	callees  []*types.Func // same-package callees, in source order
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgIs(pass.Pkg, "core") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pass 1: summarize every declared function: does it panic with a
+	// budget payload, is it shielded, and which same-package functions
+	// does it call?
+	infos := make(map[*types.Func]*funcInfo)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		fn, ok := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if !ok || decl.Body == nil {
+			return
+		}
+		fi := &funcInfo{decl: decl}
+		for _, stmt := range decl.Body.List {
+			if def, ok := stmt.(*ast.DeferStmt); ok && calleeNamed(pass, def.Call, "recoverBudget") {
+				fi.shielded = true
+			}
+		}
+		lintutil.WalkLocal(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isBudgetPanic(pass, call) {
+				fi.panics = true
+				return true
+			}
+			if callee := lintutil.CalleeFunc(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+				fi.callees = append(fi.callees, callee)
+			}
+			return true
+		})
+		infos[fn] = fi
+	})
+
+	// Pass 2: for each exported error-returning function without a
+	// shield, search the same-package call graph for a path to a panic
+	// site that does not pass through a shielded function.
+	for fn, fi := range infos {
+		if !fn.Exported() || fi.shielded {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !lintutil.ReturnsError(sig) {
+			continue
+		}
+		if path := panicPath(infos, fn, make(map[*types.Func]bool)); path != nil {
+			pass.ReportRangef(fi.decl.Name,
+				"exported function %s returns an error and can reach a budget/cancellation panic (via %s) but has no top-level defer recoverBudget(&err)",
+				fn.Name(), pathString(path))
+		}
+	}
+	return nil, nil
+}
+
+// panicPath returns a witness call chain from fn to a function that
+// directly contains a budget panic, never descending into shielded
+// functions; nil if no such chain exists. The chain starts at fn's first
+// offending callee (fn itself is omitted).
+func panicPath(infos map[*types.Func]*funcInfo, fn *types.Func, seen map[*types.Func]bool) []*types.Func {
+	if seen[fn] {
+		return nil
+	}
+	seen[fn] = true
+	fi := infos[fn]
+	if fi == nil {
+		return nil
+	}
+	if fi.panics {
+		return []*types.Func{fn}
+	}
+	for _, callee := range fi.callees {
+		ci := infos[callee]
+		if ci == nil || ci.shielded {
+			continue
+		}
+		if path := panicPath(infos, callee, seen); path != nil {
+			if path[0] != callee {
+				path = append([]*types.Func{callee}, path...)
+			}
+			return path
+		}
+	}
+	return nil
+}
+
+func pathString(path []*types.Func) string {
+	s := ""
+	for i, fn := range path {
+		if i > 0 {
+			s += " -> "
+		}
+		s += fn.Name()
+	}
+	if s == "" {
+		return "its own body"
+	}
+	return s
+}
+
+// isBudgetPanic reports whether call is panic(x) where x's type is one of
+// the internal budget payload types.
+func isBudgetPanic(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" || len(call.Args) != 1 {
+		return false
+	}
+	if _, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	n, ok := pass.TypesInfo.TypeOf(call.Args[0]).(*types.Named)
+	return ok && panicPayloads[n.Obj().Name()]
+}
+
+// calleeNamed reports whether call invokes a package-level function with
+// the given name.
+func calleeNamed(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && fn.Name() == name
+}

@@ -1,0 +1,12 @@
+package budgetrecover_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/budgetrecover"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "testdata", budgetrecover.Analyzer, "core")
+}

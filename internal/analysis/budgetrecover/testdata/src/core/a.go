@@ -1,0 +1,80 @@
+// Fixture for the budgetrecover analyzer: a miniature of
+// coskq/internal/core's budget-panic machinery.
+package core
+
+import "errors"
+
+var ErrBudgetExceeded = errors.New("budget exceeded")
+
+type budgetExceeded struct{}
+
+type searchCanceled struct{ err error }
+
+type Stats struct{ NodesExpanded int }
+
+type Engine struct{ NodeBudget int }
+
+func (e *Engine) chargeNode(stats *Stats) {
+	stats.NodesExpanded++
+	if e.NodeBudget > 0 && stats.NodesExpanded > e.NodeBudget {
+		panic(budgetExceeded{})
+	}
+}
+
+func recoverBudget(err *error) {
+	if r := recover(); r != nil {
+		switch p := r.(type) {
+		case budgetExceeded:
+			*err = ErrBudgetExceeded
+		case searchCanceled:
+			*err = p.err
+		default:
+			panic(r)
+		}
+	}
+}
+
+func (e *Engine) search(stats *Stats) {
+	for i := 0; i < 10; i++ {
+		e.chargeNode(stats)
+	}
+}
+
+// Solve is shielded on entry: ok.
+func (e *Engine) Solve() (res int, err error) {
+	defer recoverBudget(&err)
+	e.search(&Stats{})
+	return 0, nil
+}
+
+// SolveVia only reaches panics through the shielded Solve: ok.
+func (e *Engine) SolveVia() (int, error) {
+	return e.Solve()
+}
+
+// SolveLeaky reaches chargeNode with no shield on the way: bad.
+func (e *Engine) SolveLeaky() (res int, err error) { // want `SolveLeaky returns an error and can reach a budget/cancellation panic \(via search -> chargeNode\)`
+	e.search(&Stats{})
+	return 0, nil
+}
+
+// SolveDirect panics with a budget payload in its own body: bad.
+func (e *Engine) SolveDirect(cancel bool) error { // want `SolveDirect returns an error and can reach a budget/cancellation panic`
+	if cancel {
+		panic(searchCanceled{err: nil})
+	}
+	return nil
+}
+
+// Feasible returns no error, so the shield rule does not apply.
+func (e *Engine) Feasible() bool {
+	e.search(&Stats{})
+	return true
+}
+
+// helperLeaky is unexported: entry-point rule does not apply (its
+// exported callers are checked instead).
+func (e *Engine) helperLeaky() error {
+	e.search(&Stats{})
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package coskqlint assembles the repository's analyzer suite: the five
+// machine-checked safety invariants of the CoSKQ engine. cmd/coskq-lint
+// exposes them as a go vet -vettool; DESIGN.md ("Enforced invariants")
+// maps each analyzer to the engine contract it guards.
+package coskqlint
+
+import (
+	"golang.org/x/tools/go/analysis"
+
+	"coskq/internal/analysis/budgetrecover"
+	"coskq/internal/analysis/ctxpoll"
+	"coskq/internal/analysis/geodist"
+	"coskq/internal/analysis/slogonly"
+	"coskq/internal/analysis/spanend"
+)
+
+// Analyzers returns the full suite in a stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		budgetrecover.Analyzer,
+		ctxpoll.Analyzer,
+		geodist.Analyzer,
+		slogonly.Analyzer,
+		spanend.Analyzer,
+	}
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/ctxpoll"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "testdata", ctxpoll.Analyzer, "core")
+}

@@ -1,0 +1,107 @@
+// Fixture for the ctxpoll analyzer: search loops that do and do not
+// poll the node budget / cancellation context.
+package core
+
+import (
+	"context"
+
+	"irtree"
+	"pqueue"
+)
+
+type Stats struct{ NodesExpanded, CandidatesSeen int }
+
+type Engine struct{ ctx context.Context }
+
+func (e *Engine) chargeNode(stats *Stats) {
+	stats.NodesExpanded++
+	if e.ctx != nil && stats.NodesExpanded&255 == 0 && e.ctx.Err() != nil {
+		panic("canceled")
+	}
+}
+
+func (e *Engine) pollCancel(counter int) {
+	if e.ctx != nil && counter&255 == 0 && e.ctx.Err() != nil {
+		panic("canceled")
+	}
+}
+
+func (e *Engine) bestWithOwner(stats *Stats) float64 {
+	e.chargeNode(stats)
+	return 0
+}
+
+func (e *Engine) okPollDirect(it *irtree.RelevantNNIterator) {
+	stats := &Stats{}
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
+	}
+}
+
+func (e *Engine) okChargeViaHelper(it *irtree.RelevantNNIterator) {
+	stats := &Stats{}
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		e.bestWithOwner(stats)
+	}
+}
+
+func (e *Engine) okCtxCheck(it *irtree.RelevantNNIterator) {
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		if e.ctx != nil && e.ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+func (e *Engine) okQueue(q *pqueue.Queue, stats *Stats) int {
+	n := 0
+	for q.Len() > 0 {
+		v, _ := q.Pop()
+		n += v
+		e.chargeNode(stats)
+	}
+	return n
+}
+
+func (e *Engine) badIterator(it *irtree.RelevantNNIterator) int {
+	n := 0
+	for {
+		_, _, ok := it.Next() // want `search loop expands nodes but never polls`
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func (e *Engine) badQueue(q *pqueue.Queue) int {
+	n := 0
+	for q.Len() > 0 {
+		v, _ := q.Pop() // want `search loop expands nodes but never polls`
+		n += v
+	}
+	return n
+}
+
+// plainLoop expands nothing: no obligation.
+func (e *Engine) plainLoop(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+// Fixture stand-in for coskq/internal/irtree's frontier iterators.
+package irtree
+
+type Object struct{ ID int }
+
+type RelevantNNIterator struct{ n int }
+
+func (it *RelevantNNIterator) Next() (*Object, float64, bool) {
+	it.n++
+	if it.n > 3 {
+		return nil, 0, false
+	}
+	return &Object{ID: it.n}, float64(it.n), true
+}

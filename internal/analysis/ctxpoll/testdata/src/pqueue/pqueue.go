@@ -1,0 +1,16 @@
+// Fixture stand-in for coskq/internal/pqueue's search priority queue.
+package pqueue
+
+type Queue struct{ items []int }
+
+func New() *Queue { return &Queue{} }
+
+func (q *Queue) Push(v int) { q.items = append(q.items, v) }
+
+func (q *Queue) Pop() (int, float64) {
+	v := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return v, float64(v)
+}
+
+func (q *Queue) Len() int { return len(q.items) }

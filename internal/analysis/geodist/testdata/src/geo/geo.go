@@ -1,0 +1,16 @@
+// Fixture for the geodist analyzer: the geo package itself is exempt —
+// this is where the canonical distance lives.
+package geo
+
+import "math"
+
+type Point struct{ X, Y float64 }
+
+func (p Point) Dist(r Point) float64 {
+	return math.Hypot(p.X-r.X, p.Y-r.Y)
+}
+
+func (p Point) SqDist(r Point) float64 {
+	dx, dy := p.X-r.X, p.Y-r.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}

@@ -1,0 +1,101 @@
+// Package lintutil holds the small amount of type- and AST-plumbing the
+// coskq-lint analyzers share: resolving callees to *types.Func, matching
+// packages and named types by import-path base, and walking statements
+// without straying into nested function literals.
+//
+// The analyzers identify engine packages by the last element of the
+// import path ("core", "trace", "geo", ...) rather than the full
+// "coskq/internal/..." path so that the same analyzers run unchanged
+// against the analysistest-style fixture packages under each analyzer's
+// testdata/src directory (where the package path is just "core").
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// PathBase returns the last element of an import path.
+func PathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// PkgIs reports whether pkg's import path has base as its last element.
+func PkgIs(pkg *types.Package, base string) bool {
+	return pkg != nil && PathBase(pkg.Path()) == base
+}
+
+// CalleeFunc resolves call's callee to a *types.Func (a declared function
+// or method), or nil for indirect calls, conversions and builtins.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// NamedRecv returns the named type of fn's receiver, unwrapping one level
+// of pointer, or nil for a plain function.
+func NamedRecv(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsMethodOn reports whether fn is a method named methodName on a type
+// named typeName declared in a package whose path base is pkgBase.
+func IsMethodOn(fn *types.Func, pkgBase, typeName, methodName string) bool {
+	if fn == nil || fn.Name() != methodName {
+		return false
+	}
+	n := NamedRecv(fn)
+	if n == nil || n.Obj().Name() != typeName {
+		return false
+	}
+	return PkgIs(n.Obj().Pkg(), pkgBase)
+}
+
+// WalkLocal walks n in depth-first order, calling f for every node, but
+// does not descend into nested function literals (their bodies run on
+// their own schedule, so statements inside them say nothing about the
+// enclosing function's control flow).
+func WalkLocal(n ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return f(n)
+	})
+}
+
+// ReturnsError reports whether sig's results include the error type.
+func ReturnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), types.Universe.Lookup("error").Type()) {
+			return true
+		}
+	}
+	return false
+}

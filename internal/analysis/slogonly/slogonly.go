@@ -1,0 +1,56 @@
+// Package slogonly defines an analyzer forbidding the legacy log package
+// in the serving path (internal/server and cmd/coskq-server).
+//
+// The server's observability contract is structured logging through
+// log/slog: every request, panic and slow query is a structured record a
+// log pipeline can index. A stray log.Printf bypasses the handler (and
+// its level filtering) and interleaves unstructured bytes into the
+// stream. This analyzer replaces the grep-based CI check that previously
+// guarded the invariant.
+package slogonly
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `forbid the legacy log package in server packages
+
+In packages whose import path base ends in "server" (internal/server,
+cmd/coskq-server), every use of the standard "log" package is reported:
+the serving path logs through log/slog exclusively, so records stay
+structured, leveled and machine-parseable. log/slog itself is fine.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "slogonly",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !strings.HasSuffix(lintutil.PathBase(pass.Pkg.Path()), "server") {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		sel := n.(*ast.SelectorExpr)
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "log" {
+			return
+		}
+		pass.ReportRangef(sel, "use log/slog, not the legacy log package, in the serving path (log.%s)", sel.Sel.Name)
+	})
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package slogonly_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/slogonly"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "testdata", slogonly.Analyzer, "server", "other")
+}

@@ -1,0 +1,9 @@
+// Fixture for the slogonly analyzer: a non-server package may use the
+// legacy log package freely.
+package other
+
+import "log"
+
+func note() {
+	log.Println("cli tools may keep the legacy logger")
+}

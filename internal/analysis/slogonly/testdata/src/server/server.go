@@ -1,0 +1,17 @@
+// Fixture for the slogonly analyzer: a server package mixing slog (fine)
+// with the legacy log package (forbidden).
+package server
+
+import (
+	"log"
+	"log/slog"
+)
+
+func handle() {
+	slog.Info("request", "path", "/query")
+	log.Printf("query took %dms", 3) // want `use log/slog, not the legacy log package`
+}
+
+func fail(err error) {
+	log.Fatal(err) // want `use log/slog, not the legacy log package`
+}

@@ -1,0 +1,337 @@
+// Package spanend defines an analyzer enforcing the trace-span balance
+// invariant: every span opened with (*trace.Trace).Begin must be closed
+// with End or Drop on every control-flow path, normally via defer.
+//
+// An unbalanced span corrupts the open-span stack of the per-query trace
+// — every later span nests under the leaked one and the EXPLAIN tree the
+// server returns misattributes all subsequent time. Trace.Finish papers
+// over leaks at the root, but per-phase attribution is silently wrong.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check that every trace span from Begin is closed on all paths
+
+Each result of (*trace.Trace).Begin must have End or Drop called on
+every control-flow path from the Begin to a return, normally by
+"defer sp.End()". Discarding the result, or returning on a path that
+never closes the span, corrupts the per-query trace's span stack.
+Passing the span to another function, storing it, or returning it
+transfers the obligation and satisfies the check. Paths on which the
+span is statically nil (guarded by sp == nil / sp != nil) carry no
+obligation: all span methods are nil-safe and a disabled span needs no
+close. Test files are exempt.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "spanend",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		// Test files are exempt: the trace package's own tests leak
+		// spans on purpose to exercise Finish's cleanup of
+		// panic-unwound searches.
+		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+			return
+		}
+		runFunc(pass, n)
+	})
+	return nil, nil
+}
+
+// isBegin reports whether call invokes (*Trace).Begin from a package
+// whose import-path base is "trace".
+func isBegin(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	return lintutil.IsMethodOn(fn, "trace", "Trace", "Begin")
+}
+
+// isCloseCall reports whether n is a call sp.End() or sp.Drop() on the
+// span variable v.
+func isCloseCall(pass *analysis.Pass, n ast.Node, v *types.Var) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "End" && sel.Sel.Name != "Drop") {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+func runFunc(pass *analysis.Pass, node ast.Node) {
+	var funcBody *ast.BlockStmt
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		funcBody = n.Body
+	case *ast.FuncLit:
+		funcBody = n.Body
+	}
+	if funcBody == nil {
+		return
+	}
+
+	// Collect the span variables defined by Begin calls in this function
+	// (not in nested literals — those are visited on their own).
+	type spanDef struct {
+		v    *types.Var
+		stmt ast.Node // the defining AssignStmt
+	}
+	var defs []spanDef
+	lintutil.WalkLocal(funcBody, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.AssignStmt)
+		if !ok {
+			// A Begin whose result is dropped on the floor: the span can
+			// never be closed. (Begin as part of a larger expression —
+			// an argument, a chained call — escapes and is skipped.)
+			if es, ok := n.(*ast.ExprStmt); ok {
+				if call, ok := es.X.(*ast.CallExpr); ok && isBegin(pass, call) {
+					pass.ReportRangef(call, "result of Begin is discarded: the span is never ended (use End/Drop, normally deferred)")
+				}
+			}
+			return true
+		}
+		if len(stmt.Lhs) != 1 || len(stmt.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isBegin(pass, call) {
+			return true
+		}
+		id, ok := stmt.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true // sp stored through a selector/index: escapes
+		}
+		if id.Name == "_" {
+			pass.ReportRangef(call, "result of Begin is discarded: the span is never ended (use End/Drop, normally deferred)")
+			return true
+		}
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			v, ok = pass.TypesInfo.Uses[id].(*types.Var)
+		}
+		if ok && v != nil {
+			defs = append(defs, spanDef{v: v, stmt: stmt})
+		}
+		return true
+	})
+	if len(defs) == 0 {
+		return
+	}
+
+	// A deferred close anywhere in the function discharges the
+	// obligation on every path.
+	deferred := make(map[*types.Var]bool)
+	lintutil.WalkLocal(funcBody, func(n ast.Node) bool {
+		if def, ok := n.(*ast.DeferStmt); ok {
+			for _, d := range defs {
+				if isCloseCall(pass, def.Call, d.v) {
+					deferred[d.v] = true
+				}
+			}
+		}
+		return true
+	})
+
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	var g *cfg.CFG
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		g = cfgs.FuncDecl(n)
+	case *ast.FuncLit:
+		g = cfgs.FuncLit(n)
+	}
+	if g == nil {
+		return
+	}
+
+	for _, d := range defs {
+		if deferred[d.v] {
+			continue
+		}
+		if ret := leakPath(pass, g, d.v, d.stmt); ret != nil {
+			pass.ReportRangef(d.stmt, "span %s is not closed on all paths (missing End/Drop before the return at line %d)",
+				d.v.Name(), pass.Fset.Position(ret.Pos()).Line)
+		}
+	}
+}
+
+// leakPath finds a control-flow path from the span definition stmt to a
+// return statement on which the span is neither closed nor escapes, and
+// returns that return statement; nil if every path discharges the span.
+func leakPath(pass *analysis.Pass, g *cfg.CFG, v *types.Var, stmt ast.Node) *ast.ReturnStmt {
+	// discharges reports whether the statements close v (End/Drop) or
+	// make it escape (argument, return value, right-hand side, stored).
+	discharges := func(stmts []ast.Node) bool {
+		found := false
+		for _, s := range stmts {
+			lintutil.WalkLocal(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isCloseCall(pass, n, v) {
+						found = true
+						return false
+					}
+					for _, arg := range n.Args {
+						if refersTo(pass, arg, v) {
+							found = true
+							return false
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if refersTo(pass, res, v) {
+							found = true
+							return false
+						}
+					}
+				case *ast.AssignStmt:
+					for _, rhs := range n.Rhs {
+						if refersTo(pass, rhs, v) {
+							found = true
+							return false
+						}
+					}
+				case *ast.CompositeLit:
+					if refersTo(pass, n, v) {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				break
+			}
+		}
+		return found
+	}
+
+	// Locate the defining block and the statements after the definition.
+	var defblock *cfg.Block
+	var rest []ast.Node
+outer:
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == stmt {
+				defblock, rest = b, b.Nodes[i+1:]
+				break outer
+			}
+		}
+	}
+	if defblock == nil {
+		return nil // definition not in CFG (e.g. dead code)
+	}
+	if discharges(rest) {
+		return nil
+	}
+	if ret := defblock.Return(); ret != nil {
+		return ret
+	}
+
+	memo := make(map[*cfg.Block]bool)
+	blockDischarges := func(b *cfg.Block) bool {
+		r, ok := memo[b]
+		if !ok {
+			r = discharges(b.Nodes)
+			memo[b] = r
+		}
+		return r
+	}
+	seen := make(map[*cfg.Block]bool)
+	var search func(blocks []*cfg.Block) *ast.ReturnStmt
+	search = func(blocks []*cfg.Block) *ast.ReturnStmt {
+		for _, b := range blocks {
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			if blockDischarges(b) {
+				continue
+			}
+			if ret := b.Return(); ret != nil {
+				return ret
+			}
+			if ret := search(liveSuccs(pass, b, v)); ret != nil {
+				return ret
+			}
+		}
+		return nil
+	}
+	return search(liveSuccs(pass, defblock, v))
+}
+
+// liveSuccs returns b's successors minus any branch on which the span
+// variable is statically known to be nil. All span methods are nil-safe
+// and a nil span (disabled tracing, exhausted span budget) carries no
+// close obligation, so the engine's documented
+//
+//	if sp != nil { sp.Attr(...); sp.End() }
+//
+// batching idiom must not be reported: when b ends in the condition
+// "v != nil" (or "v == nil"), the branch taken with v nil is dropped
+// from the search.
+func liveSuccs(pass *analysis.Pass, b *cfg.Block, v *types.Var) []*cfg.Block {
+	if len(b.Succs) != 2 || len(b.Nodes) == 0 {
+		return b.Succs
+	}
+	cond, ok := b.Nodes[len(b.Nodes)-1].(*ast.BinaryExpr)
+	if !ok || (cond.Op != token.EQL && cond.Op != token.NEQ) {
+		return b.Succs
+	}
+	isV := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == v
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilConst := pass.TypesInfo.Uses[id].(*types.Nil)
+		return isNilConst
+	}
+	if !(isV(cond.X) && isNil(cond.Y)) && !(isNil(cond.X) && isV(cond.Y)) {
+		return b.Succs
+	}
+	// Succs[0] is the then-branch. For "v != nil" the nil path is the
+	// else-branch; for "v == nil" it is the then-branch.
+	if cond.Op == token.NEQ {
+		return b.Succs[:1]
+	}
+	return b.Succs[1:]
+}
+
+// refersTo reports whether expr mentions the variable v.
+func refersTo(pass *analysis.Pass, expr ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/spanend"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analyzertest.Run(t, "testdata", spanend.Analyzer, "a")
+}

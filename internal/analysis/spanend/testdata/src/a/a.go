@@ -1,0 +1,91 @@
+// Fixture for the spanend analyzer: balanced, escaping and leaking spans.
+package a
+
+import "trace"
+
+func okDeferred(tr *trace.Trace) {
+	sp := tr.Begin("phase")
+	defer sp.End()
+}
+
+func okBranches(tr *trace.Trace, improved bool) {
+	sp := tr.Begin("sub_search")
+	if improved {
+		sp.Attr("cost", 1)
+		sp.End()
+		return
+	}
+	sp.Drop()
+}
+
+func okEarlyReturn(tr *trace.Trace, ok bool) error {
+	sp := tr.Begin("seed")
+	if !ok {
+		sp.End()
+		return nil
+	}
+	sp.Attr("size", 2)
+	sp.End()
+	return nil
+}
+
+func okEscapesReturn(tr *trace.Trace) *trace.Span {
+	sp := tr.Begin("handed_off")
+	return sp
+}
+
+func okEscapesArg(tr *trace.Trace) {
+	sp := tr.Begin("handed_off")
+	closeLater(sp)
+}
+
+func closeLater(sp *trace.Span) { sp.End() }
+
+func okNilGuard(tr *trace.Trace, improved bool) {
+	sp := tr.Begin("sub_search")
+	if sp != nil {
+		if improved {
+			sp.Attr("cost", 1)
+			sp.End()
+		} else {
+			sp.Drop()
+		}
+	}
+}
+
+func okNilEarlyExit(tr *trace.Trace) {
+	sp := tr.Begin("phase")
+	if sp == nil {
+		return
+	}
+	sp.End()
+}
+
+func badNilGuardLeak(tr *trace.Trace, improved bool) {
+	sp := tr.Begin("sub_search") // want `span sp is not closed on all paths`
+	if sp != nil && improved {
+		sp.End()
+	}
+}
+
+func badDiscarded(tr *trace.Trace) {
+	tr.Begin("phase") // want `result of Begin is discarded`
+}
+
+func badBlank(tr *trace.Trace) {
+	_ = tr.Begin("phase") // want `result of Begin is discarded`
+}
+
+func badLeakyBranch(tr *trace.Trace, infeasible bool) error {
+	sp := tr.Begin("seed") // want `span sp is not closed on all paths`
+	if infeasible {
+		return nil
+	}
+	sp.End()
+	return nil
+}
+
+func badNeverClosed(tr *trace.Trace) {
+	sp := tr.Begin("phase") // want `span sp is not closed on all paths`
+	sp.Attr("k", 1)
+}

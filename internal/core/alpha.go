@@ -59,10 +59,14 @@ func (e *Engine) EvalCostAlpha(alpha float64, q geo.Point, set []dataset.ObjectI
 // SolveAlpha answers q under cost_α with the distance owner-driven
 // algorithms. Supported methods: OwnerExact, OwnerAppro, Brute.
 // SolveAlpha(q, 0.5, m) equals Solve(q, MaxSum, m) up to the factor 2.
-func (e *Engine) SolveAlpha(q Query, alpha float64, method Method) (Result, error) {
+func (e *Engine) SolveAlpha(q Query, alpha float64, method Method) (res Result, err error) {
 	if err := checkAlpha(alpha); err != nil {
 		return Result{}, err
 	}
+	// The α-cost searches poll the budget/cancellation counters and unwind
+	// via panic like the cost-function dispatch in solve; contain those
+	// panics here so they surface as errors, not crashes.
+	defer recoverBudget(&err)
 	switch method {
 	case OwnerExact:
 		return e.alphaExact(q, alpha)
@@ -122,6 +126,7 @@ func (e *Engine) alphaExact(q Query, alpha float64) (res Result, err error) {
 			}
 		}
 		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
 		if dof < df {
 			continue
 		}
@@ -245,6 +250,7 @@ func (e *Engine) alphaAppro(q Query, alpha float64) (Result, error) {
 			}
 		}
 		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
 		if dof < df {
 			continue
 		}

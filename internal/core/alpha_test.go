@@ -126,3 +126,30 @@ func TestAlphaValidation(t *testing.T) {
 		t.Error("unsupported method should error")
 	}
 }
+
+// TestAlphaBudgetSurfacesAsError: when the node budget trips inside the
+// α-cost search, the internal budgetExceeded panic must be contained by
+// SolveAlpha's recoverBudget shield and surface as ErrBudgetExceeded.
+func TestAlphaBudgetSurfacesAsError(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	budgetHit := false
+	for trial := 0; trial < 40 && !budgetHit; trial++ {
+		e := genEngine(rng, 60+rng.Intn(60), 8, 3)
+		e.NodeBudget = 1
+		q := randQuery(rng, 9, 3+rng.Intn(3))
+		for _, method := range []Method{OwnerExact, OwnerAppro} {
+			res, err := e.SolveAlpha(q, 0.5, method)
+			switch err {
+			case nil, ErrInfeasible:
+				// small search fit in the budget; try another workload
+			case ErrBudgetExceeded:
+				budgetHit = true
+			default:
+				t.Fatalf("SolveAlpha(%v) with budget 1: unexpected error %v (res %v)", method, err, res)
+			}
+		}
+	}
+	if !budgetHit {
+		t.Fatal("no workload tripped the node budget; the shield went unexercised")
+	}
+}

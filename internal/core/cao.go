@@ -65,6 +65,7 @@ func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
 			break // o ∈ S implies cost(S) ≥ d(o, q) under MaxSum and Dia
 		}
 		stats.OwnersTried++
+		e.pollCancel(stats.OwnersTried)
 		set, ok := e.nnAroundObject(qi, o)
 		if !ok {
 			continue
@@ -162,6 +163,7 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 			}
 			cands[b] = append(cands[b], kwCand{o: o, d: d, mask: qi.MaskOf(o.Keywords)})
 			stats.CandidatesSeen++
+			e.pollCancel(stats.CandidatesSeen)
 		}
 	}
 	stats.Phases.Materialize = time.Since(matStart)

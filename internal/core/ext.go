@@ -282,6 +282,7 @@ func (e *Engine) minMaxExact(q Query) (res Result, err error) {
 			break // cost ≥ d(nearest member, q)
 		}
 		stats.OwnersTried++
+		e.pollCancel(stats.OwnersTried)
 
 		// Candidates: relevant objects within C(o, curCost − d(o,q)) whose
 		// query distance is at least d(o,q) (o must stay the nearest).
@@ -428,6 +429,7 @@ func (e *Engine) minMaxAppro(q Query) (Result, error) {
 			break
 		}
 		stats.OwnersTried++
+		e.pollCancel(stats.OwnersTried)
 		covered := qi.MaskOf(o.Keywords)
 		set := []dataset.ObjectID{o.ID}
 		feasible := true

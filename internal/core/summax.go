@@ -175,6 +175,7 @@ func (e *Engine) sumMaxAppro(q Query) (Result, error) {
 		ownerMask := qi.MaskOf(o.Keywords)
 		pool = append(pool, cand{o: o, d: dof, mask: ownerMask})
 		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
 		if dof < df {
 			stats.Prunes[trace.PruneOwnerRing]++
 			continue

@@ -368,3 +368,26 @@ func TestStringers(t *testing.T) {
 		t.Errorf("EmptyRect.String = %q", s)
 	}
 }
+
+// TestDistFormulationsAgree pins Point.Dist (math.Hypot) against the
+// naive sqrt(dx²+dy²) formulation that the geodist analyzer forbids
+// elsewhere in the repo: routing all distance math through this package
+// is only sound if the centralized formula agrees with what ad-hoc call
+// sites would have computed.
+func TestDistFormulationsAgree(t *testing.T) {
+	pts := []Point{
+		{0, 0}, {1, 0}, {0, 1}, {3, 4},
+		{-2.5, 7.125}, {1e-9, -1e-9}, {1e6, -1e6},
+		{0.1, 0.2}, {123.456, -654.321}, {1e-300, 1e-300},
+	}
+	for _, p := range pts {
+		for _, r := range pts {
+			got := p.Dist(r)
+			dx, dy := p.X-r.X, p.Y-r.Y
+			naive := math.Sqrt(dx*dx + dy*dy)
+			if diff := math.Abs(got - naive); diff > 1e-12*math.Max(1, naive) {
+				t.Errorf("Dist(%v, %v) = %v, naive sqrt form = %v (diff %v)", p, r, got, naive, diff)
+			}
+		}
+	}
+}
