@@ -83,6 +83,22 @@ var paperAlgos = []struct {
 	{"CaoAppro2", coskq.CaoAppro2},
 }
 
+// BenchmarkOwnerExact measures the intra-query parallel speedup of the
+// owner-driven exact search across worker counts (DESIGN.md §10;
+// workers=1 is the serial path). Meaningful speedups need GOMAXPROCS ≥
+// the worker count — on a single-core runner all counts time alike.
+func BenchmarkOwnerExact(b *testing.B) {
+	e := hotelEngine()
+	queries := benchQueries(e, 32, 9, 900)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e.Parallelism = workers
+			defer func() { e.Parallelism = 0 }()
+			runAlgo(b, e, queries, coskq.MaxSum, coskq.OwnerExact)
+		})
+	}
+}
+
 // BenchmarkT1DatasetStats regenerates the dataset statistics table's
 // underlying pass (profile generation + one-pass statistics).
 func BenchmarkT1DatasetStats(b *testing.B) {

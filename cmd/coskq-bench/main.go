@@ -33,6 +33,7 @@ func main() {
 		budget      = flag.Int("budget", 20_000_000, "exact-search node budget per query (DNF beyond)")
 		showMetrics = flag.Bool("metrics", false, "print the cumulative query/latency/effort metrics (the same exposition coskq-server serves on /metrics) after the run")
 		showTrace   = flag.Bool("trace", false, "trace every query and print the slowest executions' trace trees after the run (adds a few percent of overhead)")
+		workers     = flag.Int("workers", 0, "worker goroutines per exact search (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -42,6 +43,7 @@ func main() {
 		Scale:      *scale,
 		Full:       *full,
 		NodeBudget: *budget,
+		Workers:    *workers,
 		Out:        os.Stdout,
 	}
 	if *showMetrics {

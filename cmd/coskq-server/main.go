@@ -51,6 +51,7 @@ func main() {
 		budget    = flag.Int("budget", 0, "exact-search node budget per query, over-budget queries get 503 (0 = unlimited)")
 		slowlog   = flag.Int("slowlog", 0, "slow-query log capacity for /debug/slowlog (0 = default, negative disables)")
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		workers   = flag.Int("workers", 0, "worker goroutines per exact search (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -77,6 +78,7 @@ func main() {
 
 	eng := coskq.NewEngine(ds, 0)
 	eng.NodeBudget = *budget
+	eng.Parallelism = *workers
 	reg := metrics.NewRegistry()
 	eng.Metrics = core.NewEngineMetrics(reg)
 

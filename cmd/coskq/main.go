@@ -69,6 +69,7 @@ func main() {
 		fanout  = flag.Int("fanout", 0, "IR-tree fanout (0 = default)")
 		svgOut  = flag.String("svg", "", "also render the answer to this SVG file")
 		explain = flag.Bool("explain", false, "print the per-phase execution trace after the answer")
+		workers = flag.Int("workers", 0, "worker goroutines per exact search (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -103,6 +104,7 @@ func main() {
 	}
 	fmt.Printf("dataset %s: %s\n", ds.Name, ds.Stats())
 	eng := coskq.NewEngine(ds, *fanout)
+	eng.Parallelism = *workers
 
 	var keywords coskq.KeywordSet
 	switch {

@@ -46,7 +46,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	// Pre-scan: the package functions that poll directly. Calling one of
 	// these from a loop body satisfies the invariant (one level of
 	// indirection covers the bestWithOwner-style per-owner sub-searches,
-	// which charge every node they expand).
+	// which charge every node they expand). The scan descends into
+	// function literals: a worker-pool helper whose polling sits inside a
+	// recover-wrapped closure still polls on the calling goroutine.
 	polling := make(map[string]bool) // by function name; same package only
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
 		decl := n.(*ast.FuncDecl)
@@ -54,7 +56,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return
 		}
 		found := false
-		lintutil.WalkLocal(decl.Body, func(n ast.Node) bool {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
 			if found {
 				return false
 			}
@@ -79,23 +81,38 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if body == nil {
 			return
 		}
+		// Expansion detection stays local to the loop body: a closure
+		// defined in the loop that drains its own iterator is a separate
+		// loop with its own obligation, not this loop's frontier.
 		expands := false
 		var expandCall *ast.CallExpr
-		satisfied := false
 		lintutil.WalkLocal(body, func(m ast.Node) bool {
-			call, ok := m.(*ast.CallExpr)
-			if !ok {
-				return true
+			if expands {
+				return false
 			}
-			if !expands && isExpansion(pass, call) {
+			if call, ok := m.(*ast.CallExpr); ok && isExpansion(pass, call) {
 				expands, expandCall = true, call
 			}
-			if !satisfied && loopSatisfies(pass, call, polling) {
+			return true
+		})
+		if !expands {
+			return
+		}
+		// Satisfaction descends into function literals: a worker-pool
+		// producer that polls inside a deferred or spawned closure (the
+		// ownerExactPar pattern) keeps the loop's latency bounded because
+		// the pool shares one global node counter.
+		satisfied := false
+		ast.Inspect(body, func(m ast.Node) bool {
+			if satisfied {
+				return false
+			}
+			if call, ok := m.(*ast.CallExpr); ok && loopSatisfies(pass, call, polling) {
 				satisfied = true
 			}
 			return true
 		})
-		if expands && !satisfied {
+		if !satisfied {
 			pass.ReportRangef(expandCall,
 				"search loop expands nodes but never polls: call chargeNode/pollCancel (or check ctx.Err) in the loop body so cancellation and the node budget stay bounded")
 		}

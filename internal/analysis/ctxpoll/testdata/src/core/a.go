@@ -105,3 +105,58 @@ func (e *Engine) plainLoop(xs []int) int {
 	}
 	return n
 }
+
+// runTask is a worker-pool task helper whose polling sits inside a
+// recover-wrapped closure — the pre-scan must still classify it as
+// polling.
+func (e *Engine) runTask(stats *Stats) {
+	func() {
+		defer func() { recover() }()
+		e.chargeNode(stats)
+	}()
+}
+
+// okWorkerClosure: the producer loop polls inside a deferred/spawned
+// closure (the parallel-search producer pattern).
+func (e *Engine) okWorkerClosure(it *irtree.RelevantNNIterator, tasks chan<- int) {
+	stats := &Stats{}
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		stats.CandidatesSeen++
+		func() {
+			defer func() { recover() }()
+			e.pollCancel(stats.CandidatesSeen)
+		}()
+		tasks <- stats.CandidatesSeen
+	}
+}
+
+// okWorkerHelper: the loop discharges its obligation through a helper
+// that polls inside its own closure.
+func (e *Engine) okWorkerHelper(it *irtree.RelevantNNIterator) {
+	stats := &Stats{}
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		e.runTask(stats)
+	}
+}
+
+// badWorkerNoPoll: fanning work out to a channel does not poll — the
+// producer loop itself must charge or poll.
+func (e *Engine) badWorkerNoPoll(it *irtree.RelevantNNIterator, tasks chan<- int) {
+	n := 0
+	for {
+		_, _, ok := it.Next() // want `search loop expands nodes but never polls`
+		if !ok {
+			break
+		}
+		n++
+		tasks <- n
+	}
+}

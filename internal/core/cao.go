@@ -90,11 +90,12 @@ func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
 
 // farthestNNKeyword returns the query keyword whose nearest neighbor from
 // q is the farthest — the keyword that pins d_f. The query must be
-// feasible (checked by the callers via nnSeed).
+// feasible (checked by the callers via nnSeed). Lookups go through the
+// per-query keyword-NN memo, so after nnSeed these are cache hits.
 func (e *Engine) farthestNNKeyword(q Query) kwds.ID {
 	best, bestD := q.Keywords[0], math.Inf(-1)
 	for _, kw := range q.Keywords {
-		if _, d, ok := e.Tree.NN(q.Loc, kw); ok && d > bestD {
+		if _, d, ok := e.keywordNN(q.Loc, kw); ok && d > bestD {
 			best, bestD = kw, d
 		}
 	}
@@ -117,6 +118,108 @@ func (e *Engine) nnAroundObject(qi *kwds.QueryIndex, o *dataset.Object) ([]datas
 		set = append(set, id)
 	}
 	return set, true
+}
+
+// kwCand is one Cao-Exact candidate: an object containing a particular
+// query keyword, with its distance from q and covered-keyword mask.
+type kwCand struct {
+	o    *dataset.Object
+	d    float64
+	mask kwds.Mask
+}
+
+// caoSearch is Cao-Exact's branch-and-bound state. The serial path runs
+// one caoSearch over the whole tree (sh nil: bestSet/bestCost hold the
+// incumbent); the parallel path runs one per worker, each rooted at a
+// top-level candidate subtree, publishing leaves through the shared
+// incumbent sh (parallel.go).
+type caoSearch struct {
+	e     *Engine
+	qi    *kwds.QueryIndex
+	cost  CostKind
+	cands [][]kwCand
+	stats *Stats
+
+	chosen    []*dataset.Object
+	chosenIDs []dataset.ObjectID
+
+	// Serial incumbent (sh == nil).
+	bestCost float64
+	bestSet  []dataset.ObjectID
+
+	// Parallel coordination (sh != nil): leaves go through sh.offer with
+	// the subtree's top-level candidate index ord as the merge order.
+	sh  *parShared
+	ord int
+}
+
+// bound returns the current pruning bound: the serial incumbent cost, or
+// — in a parallel search — one ulp above the shared incumbent, so an
+// equal-cost set from an earlier-ordered subtree stays findable and the
+// (cost, ord) merge can resolve the tie (see parallel.go).
+func (s *caoSearch) bound() float64 {
+	if s.sh != nil {
+		return math.Nextafter(s.sh.costLoad(), math.Inf(1))
+	}
+	return s.bestCost
+}
+
+// dfs expands the partial set s.chosen (covering covered, with maxD the
+// farthest member from q and maxPair the largest pairwise distance) by
+// the uncovered keyword with the fewest candidates.
+func (s *caoSearch) dfs(covered kwds.Mask, maxD, maxPair float64) {
+	s.e.chargeNode(s.stats)
+	if covered == s.qi.Full() {
+		s.stats.SetsEvaluated++
+		c := combine(s.cost, maxD, maxPair)
+		if s.sh != nil {
+			if c < s.bound() {
+				s.sh.offer(s.chosenIDs, c, s.ord)
+			}
+		} else if c < s.bestCost {
+			s.bestCost = c
+			s.bestSet = canonical(s.chosenIDs)
+		}
+		return
+	}
+	// Expand by the uncovered keyword with the fewest candidates.
+	branch, branchLen := -1, math.MaxInt32
+	for b := 0; b < s.qi.Size(); b++ {
+		if covered&(1<<uint(b)) != 0 {
+			continue
+		}
+		if n := len(s.cands[b]); n < branchLen {
+			branch, branchLen = b, n
+		}
+	}
+	for _, kc := range s.cands[branch] {
+		if kc.mask&^covered == 0 {
+			s.stats.Prunes[trace.PruneNoNewKeyword]++
+			continue
+		}
+		if kc.d >= s.bound() {
+			// ascending distance: every later candidate also exceeds
+			// the bound
+			s.stats.Prunes[trace.PruneDistanceBreak]++
+			break
+		}
+		nd := math.Max(maxD, kc.d)
+		np := maxPair
+		for _, m := range s.chosen {
+			if d := kc.o.Loc.Dist(m.Loc); d > np {
+				np = d
+			}
+		}
+		if combine(s.cost, nd, np) >= s.bound() {
+			s.stats.Prunes[trace.PrunePairBound]++
+			continue
+		}
+		s.chosen = append(s.chosen, kc.o)
+		s.chosenIDs = append(s.chosenIDs, kc.o.ID)
+		s.dfs(covered|kc.mask, nd, np)
+		s.chosen = s.chosen[:len(s.chosen)-1]
+		s.chosenIDs = s.chosenIDs[:len(s.chosenIDs)-1]
+	}
 }
 
 // caoExact is the Cao et al. branch-and-bound exact baseline: a
@@ -142,18 +245,18 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 	}
 	curSet, curCost := seedRes.Set, seedRes.Cost
 	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated, Prunes: seedRes.Stats.Prunes}
+	stats.Workers = 1
 	stats.Phases.Seed = time.Since(start)
 
 	// Materialize, per query keyword, the candidate objects containing it
-	// within C(q, curCost), ascending by distance.
+	// within C(q, curCost), ascending by distance. The lists recycle
+	// through the scratch pool; workers read them only before the join,
+	// so releasing after the search (deferred) is safe.
 	matSp := e.tr.Begin("materialize")
 	matStart := time.Now()
-	type kwCand struct {
-		o    *dataset.Object
-		d    float64
-		mask kwds.Mask
-	}
-	cands := make([][]kwCand, qi.Size())
+	scratch := getCaoScratch()
+	defer putCaoScratch(scratch)
+	cands := scratch.ensureCands(qi.Size())
 	for b, kw := range qi.Keywords() {
 		it := e.Tree.NewKeywordNNIterator(q.Loc, kw)
 		for {
@@ -166,6 +269,7 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 			e.pollCancel(stats.CandidatesSeen)
 		}
 	}
+	scratch.cands = cands
 	stats.Phases.Materialize = time.Since(matStart)
 	if matSp != nil {
 		matSp.Attr("candidates", float64(stats.CandidatesSeen))
@@ -174,61 +278,33 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 
 	searchSp := e.tr.Begin("bnb_search")
 	searchStart := time.Now()
-	var (
-		chosen    []*dataset.Object
-		chosenIDs []dataset.ObjectID
-	)
-	var dfs func(covered kwds.Mask, maxD, maxPair float64)
-	dfs = func(covered kwds.Mask, maxD, maxPair float64) {
-		e.chargeNode(&stats)
-		if covered == qi.Full() {
-			stats.SetsEvaluated++
-			if c := combine(cost, maxD, maxPair); c < curCost {
-				curCost = c
-				curSet = canonical(chosenIDs)
-			}
-			return
-		}
-		// Expand by the uncovered keyword with the fewest candidates.
+	if w := e.parWorkers(); w > 1 {
+		// The root branches on the keyword with the fewest candidates —
+		// the same rule dfs applies — and each of its candidates seeds an
+		// independent subtree for the worker pool.
 		branch, branchLen := -1, math.MaxInt32
 		for b := 0; b < qi.Size(); b++ {
-			if covered&(1<<uint(b)) != 0 {
-				continue
-			}
 			if n := len(cands[b]); n < branchLen {
 				branch, branchLen = b, n
 			}
 		}
-		for _, kc := range cands[branch] {
-			if kc.mask&^covered == 0 {
-				stats.Prunes[trace.PruneNoNewKeyword]++
-				continue
-			}
-			if kc.d >= curCost {
-				// ascending distance: every later candidate also exceeds
-				// the bound
-				stats.Prunes[trace.PruneDistanceBreak]++
-				break
-			}
-			nd := math.Max(maxD, kc.d)
-			np := maxPair
-			for _, m := range chosen {
-				if d := kc.o.Loc.Dist(m.Loc); d > np {
-					np = d
-				}
-			}
-			if combine(cost, nd, np) >= curCost {
-				stats.Prunes[trace.PrunePairBound]++
-				continue
-			}
-			chosen = append(chosen, kc.o)
-			chosenIDs = append(chosenIDs, kc.o.ID)
-			dfs(covered|kc.mask, nd, np)
-			chosen = chosen[:len(chosen)-1]
-			chosenIDs = chosenIDs[:len(chosenIDs)-1]
+		stats.Workers = w
+		if searchSp != nil {
+			searchSp.Attr("workers", float64(w))
 		}
+		curSet, curCost = e.caoSearchPar(qi, cost, cands, branch, curSet, curCost, &stats, w)
+	} else {
+		s := &caoSearch{
+			e: e, qi: qi, cost: cost, cands: cands, stats: &stats,
+			chosen:    scratch.chosen[:0],
+			chosenIDs: scratch.chosenIDs[:0],
+			bestCost:  curCost,
+			bestSet:   curSet,
+		}
+		s.dfs(0, 0, 0)
+		curSet, curCost = s.bestSet, s.bestCost
+		scratch.chosen, scratch.chosenIDs = s.chosen[:0], s.chosenIDs[:0]
 	}
-	dfs(0, 0, 0)
 	stats.Phases.Search = time.Since(searchStart)
 	if searchSp != nil {
 		searchSp.Attr("nodes", float64(stats.NodesExpanded))

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"coskq/internal/dataset"
@@ -176,9 +177,25 @@ type searchCanceled struct{ err error }
 const cancelPollMask = 255
 
 // chargeNode counts one expanded search node against the budget and,
-// on a cancellable call, periodically polls the context.
+// on a cancellable call, periodically polls the context. Inside a
+// parallel search (e.shared non-nil) the budget is enforced against the
+// shared atomic counter, so it stays global across workers: the sum of
+// worker expansions trips the budget exactly where one serial execution
+// of the same effort would.
 func (e *Engine) chargeNode(stats *Stats) {
 	stats.NodesExpanded++
+	if sh := e.shared; sh != nil {
+		n := sh.nodes.Add(1)
+		if e.NodeBudget > 0 && n > int64(e.NodeBudget) {
+			panic(budgetExceeded{})
+		}
+		if e.ctx != nil && n&cancelPollMask == 0 {
+			if err := e.ctx.Err(); err != nil {
+				panic(searchCanceled{err})
+			}
+		}
+		return
+	}
 	if e.NodeBudget > 0 && stats.NodesExpanded > e.NodeBudget {
 		panic(budgetExceeded{})
 	}
@@ -227,6 +244,7 @@ type Stats struct {
 	SetsEvaluated  int // feasible sets whose cost was computed
 	NodesExpanded  int // search-tree nodes expanded (exact searches)
 	CandidatesSeen int // relevant objects materialized
+	Workers        int // parallel workers the execution used (≤1: serial)
 
 	// Phases breaks Elapsed down across the coarse phases the algorithms
 	// share; a phase an algorithm does not have stays zero. Phases.Seed
@@ -237,6 +255,20 @@ type Stats struct {
 	// per-query trace (internal/trace) exports the same counters in its
 	// EXPLAIN output.
 	Prunes trace.PruneCounts
+}
+
+// merge folds a worker's counters into s. A parallel execution gives
+// every worker its own Stats and merges them at the join, so the totals
+// a caller sees are exact — equal to what one serial execution of the
+// same work would report — while the hot path never contends on shared
+// counters (the node-budget counter, which must be globally exact
+// mid-flight, is the one exception; see chargeNode).
+func (s *Stats) merge(o *Stats) {
+	s.OwnersTried += o.OwnersTried
+	s.SetsEvaluated += o.SetsEvaluated
+	s.NodesExpanded += o.NodesExpanded
+	s.CandidatesSeen += o.CandidatesSeen
+	s.Prunes.Merge(o.Prunes)
 }
 
 // PhaseBreakdown splits one execution's elapsed time across the coarse
@@ -274,6 +306,15 @@ type Engine struct {
 	// unlimited. Set it before issuing queries (it is not synchronized).
 	NodeBudget int
 
+	// Parallelism bounds the worker goroutines one exact search
+	// (OwnerExact and CaoExact under MaxSum/Dia) may use within a single
+	// query: 0 (the default) resolves to GOMAXPROCS, 1 forces the serial
+	// path. Parallel and serial runs return identical costs and identical
+	// canonical answer sets (DESIGN.md §10); only the Stats detail (which
+	// prune fired where) may differ. Set it before issuing queries (it is
+	// not synchronized).
+	Parallelism int
+
 	// Ablation disables individual pruning rules of the owner-driven
 	// search for the ablation benchmarks. All-false (the zero value) is
 	// the full algorithm; disabling rules never changes answers, only
@@ -298,6 +339,28 @@ type Engine struct {
 	// copy. All trace calls are nil-safe, so a nil tr — the common case —
 	// costs one branch and never allocates.
 	tr *trace.Trace
+
+	// shared is the coordination state of a parallel exact search: the
+	// atomic incumbent bound, the global node counter and the failure
+	// slot. It is only ever set on the per-worker engine copies made by
+	// the parallel coordinators (parallel.go), never on a shared Engine.
+	shared *parShared
+
+	// nnmemo caches the query's per-keyword NN seeds so bound seeding and
+	// d_f refinement stop re-walking the IR-tree for keywords already
+	// answered (Cao-Exact seeds via Appro2, which otherwise walks every
+	// keyword NN twice). Per-call state like ctx; not goroutine-safe, so
+	// worker copies null it out.
+	nnmemo *nnMemo
+}
+
+// parWorkers resolves Parallelism to the worker count a parallel search
+// would use.
+func (e *Engine) parWorkers() int {
+	if e.Parallelism > 0 {
+		return e.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Ablation toggles the owner-driven search's pruning rules off, one by
@@ -359,28 +422,28 @@ func (e *Engine) solveCtx(ctx context.Context, q Query, cost CostKind, method Me
 	if err != nil {
 		return Result{}, err
 	}
+	defer putNNMemo(run.nnmemo)
 	return run.solve(q, cost, method)
 }
 
-// withCtx returns the engine a cancellable or traced call should run on:
-// e itself when ctx can never be cancelled and carries no trace, or a
-// shallow per-call copy carrying ctx and the trace (the copy shares the
-// dataset and indexes; it exists so that a shared Engine never holds
-// per-request state).
+// withCtx returns the per-call engine a query runs on: a shallow copy of
+// e carrying the cancellation context, the trace and the pooled
+// keyword-NN memo (the copy shares the dataset and indexes; it exists so
+// that a shared Engine never holds per-request state). ctx is only
+// attached when it can actually be cancelled, keeping chargeNode's poll
+// a single nil check on background contexts.
 func (e *Engine) withCtx(ctx context.Context) (*Engine, error) {
-	if ctx == nil {
-		return e, nil
-	}
-	tr := trace.FromContext(ctx)
-	if ctx.Done() == nil && tr == nil {
-		return e, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	clone := *e
-	clone.ctx = ctx
-	clone.tr = tr
+	if ctx != nil {
+		if ctx.Done() != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			clone.ctx = ctx
+		}
+		clone.tr = trace.FromContext(ctx)
+	}
+	clone.nnmemo = getNNMemo()
 	return &clone, nil
 }
 
@@ -489,6 +552,30 @@ func (e *Engine) EvalCost(cost CostKind, q geo.Point, set []dataset.ObjectID) fl
 	}
 }
 
+// keywordNN returns the object nearest to p containing kw, answering
+// from the per-call memo when one is attached (withCtx) and the point
+// matches the memo's. Algorithms that walk the same per-keyword NN seeds
+// repeatedly — nnSeed followed by farthestNNKeyword, or an exact search
+// re-seeding after bound refinement — hit the memo instead of re-walking
+// the IR-tree.
+func (e *Engine) keywordNN(p geo.Point, kw kwds.ID) (dataset.ObjectID, float64, bool) {
+	m := e.nnmemo
+	if m == nil {
+		return e.Tree.NN(p, kw)
+	}
+	if !m.valid || m.p != p {
+		m.reset(p)
+	}
+	for i, k := range m.kws {
+		if k == kw {
+			return m.ids[i], m.ds[i], m.oks[i]
+		}
+	}
+	id, d, ok := e.Tree.NN(p, kw)
+	m.add(kw, id, d, ok)
+	return id, d, ok
+}
+
 // nnSeed computes the nearest neighbor set N(q), its cost under the given
 // cost function, and d_f = max_{o∈N(q)} d(o,q). It returns ErrInfeasible
 // when some query keyword has no object. The phase is charged to
@@ -496,15 +583,26 @@ func (e *Engine) EvalCost(cost CostKind, q geo.Point, set []dataset.ObjectID) fl
 func (e *Engine) nnSeed(q Query, cost CostKind, stats *Stats) (set []dataset.ObjectID, c, df float64, err error) {
 	sp := e.tr.Begin("nn_seed")
 	t0 := time.Now()
-	ids, ok := e.Tree.NNSet(q.Loc, q.Keywords)
-	if !ok {
-		stats.Phases.Seed += time.Since(t0)
-		sp.End()
-		return nil, 0, 0, ErrInfeasible
-	}
-	for _, id := range ids {
-		if d := q.Loc.Dist(e.DS.Object(id).Loc); d > df {
+	ids := make([]dataset.ObjectID, 0, len(q.Keywords))
+	for _, kw := range q.Keywords {
+		id, d, ok := e.keywordNN(q.Loc, kw)
+		if !ok {
+			stats.Phases.Seed += time.Since(t0)
+			sp.End()
+			return nil, 0, 0, ErrInfeasible
+		}
+		if d > df {
 			df = d
+		}
+		dup := false
+		for _, x := range ids {
+			if x == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			ids = append(ids, id)
 		}
 	}
 	c = e.EvalCost(cost, q.Loc, ids)

@@ -41,11 +41,15 @@ type cand struct {
 // combine(d(o_f,q), maxPair(partial)) ≥ curCost — the same geometric facts
 // the paper's pairwise distance owner / lens pruning exploits.
 func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
+	if w := e.parWorkers(); w > 1 {
+		return e.ownerExactPar(q, cost, w)
+	}
 	defer recoverBudget(&err)
 	start := time.Now()
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("owner_exact")
 	var stats Stats
+	stats.Workers = 1
 	seed, curCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
 		algo.End()
@@ -56,8 +60,13 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 
 	// pool holds every relevant object popped so far, ascending by d(·,q);
 	// bitCands[b] indexes the pool entries covering query keyword bit b.
-	var pool []cand
-	bitCands := make([][]int32, qi.Size())
+	// Both recycle through the scratch pool across queries.
+	scratch := getOwnerScratch()
+	pool, bitCands := scratch.pool[:0], scratch.ensureBits(qi.Size())
+	defer func() {
+		scratch.pool = pool
+		putOwnerScratch(scratch)
+	}()
 
 	loop := e.tr.Begin("owner_loop")
 	searchStart := time.Now()
@@ -102,7 +111,7 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 		stats.OwnersTried++
 		osp := e.tr.Begin("best_with_owner")
 		nodes0 := stats.NodesExpanded
-		set, c := e.bestWithOwner(qi, cost, pool, bitCands, int(idx), curCost, &stats)
+		set, c := e.bestWithOwner(qi, cost, pool, bitCands, int(idx), curCost, scratch, &stats)
 		improved := set != nil && c < curCost
 		if osp != nil {
 			// Keep sub-search spans only for owners that improved the
@@ -145,7 +154,12 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 // exists. Every candidate member is a pool entry (d ≤ owner distance), and
 // every non-owner member of a minimal set must cover a keyword the owner
 // lacks, so the search runs over bitCands of the owner's uncovered bits.
-func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, bitCands [][]int32, ownerIdx int, bound float64, stats *Stats) ([]dataset.ObjectID, float64) {
+//
+// The returned set aliases scratch.bestSet: callers copy (canonical) what
+// they keep. Inside a parallel search (e.shared non-nil) the enumeration
+// additionally tightens its bound from the shared incumbent, one ulp
+// above it so equal-cost earlier-owner answers survive (parallel.go).
+func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, bitCands [][]int32, ownerIdx int, bound float64, scratch *ownerScratch, stats *Stats) ([]dataset.ObjectID, float64) {
 	owner := pool[ownerIdx]
 	dof := owner.d
 	need := qi.Full() &^ owner.mask
@@ -154,7 +168,8 @@ func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, 
 		c := combine(cost, dof, 0)
 		stats.SetsEvaluated++
 		if c < bound {
-			return []dataset.ObjectID{owner.o.ID}, c
+			scratch.bestSet = append(scratch.bestSet[:0], owner.o.ID)
+			return scratch.bestSet, c
 		}
 		return nil, 0
 	}
@@ -164,19 +179,31 @@ func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, 
 	}
 
 	var (
-		bestSet  []dataset.ObjectID
-		bestCost = bound
-		chosen   = make([]int32, 0, qi.Size())
+		bestSet   = scratch.bestSet[:0]
+		found     = false
+		foundCost = 0.0   // cost of bestSet once found
+		bestCost  = bound // the pruning bound; may dip below foundCost
+		chosen    = scratch.chosen[:0]
+		sh        = e.shared
 	)
 
 	var dfs func(covered kwds.Mask, maxPair float64)
 	dfs = func(covered kwds.Mask, maxPair float64) {
 		e.chargeNode(stats)
+		if sh != nil {
+			// Another worker may have improved the incumbent; tightening
+			// from it here never prunes the first minimum-cost leaf (one
+			// ulp above), so the sub-search minimum stays deterministic.
+			if b := math.Nextafter(sh.costLoad(), math.Inf(1)); b < bestCost {
+				bestCost = b
+			}
+		}
 		if covered == qi.Full() {
 			c := combine(cost, dof, maxPair)
 			stats.SetsEvaluated++
 			if c < bestCost {
 				bestCost = c
+				found, foundCost = true, c
 				bestSet = bestSet[:0]
 				bestSet = append(bestSet, owner.o.ID)
 				for _, ci := range chosen {
@@ -221,9 +248,10 @@ func (e *Engine) bestWithOwner(qi *kwds.QueryIndex, cost CostKind, pool []cand, 
 		}
 	}
 	dfs(owner.mask, 0)
+	scratch.bestSet, scratch.chosen = bestSet, chosen[:0]
 
-	if bestSet == nil {
+	if !found {
 		return nil, 0
 	}
-	return bestSet, bestCost
+	return bestSet, foundCost
 }

@@ -34,13 +34,15 @@ var (
 type EngineMetrics struct {
 	reg *metrics.Registry
 
-	queries *metrics.Counter
-	errs    *metrics.Counter
-	latency *metrics.Histogram
-	owners  *metrics.Histogram
-	nodes   *metrics.Histogram
-	cands   *metrics.Histogram
-	sets    *metrics.Histogram
+	queries  *metrics.Counter
+	errs     *metrics.Counter
+	parallel *metrics.Counter
+	workers  *metrics.Gauge
+	latency  *metrics.Histogram
+	owners   *metrics.Histogram
+	nodes    *metrics.Histogram
+	cands    *metrics.Histogram
+	sets     *metrics.Histogram
 }
 
 // NewEngineMetrics returns a sink recording into reg (nil for a fresh
@@ -51,14 +53,16 @@ func NewEngineMetrics(reg *metrics.Registry) *EngineMetrics {
 		reg = metrics.NewRegistry()
 	}
 	return &EngineMetrics{
-		reg:     reg,
-		queries: reg.Counter("coskq_queries_total"),
-		errs:    reg.Counter("coskq_query_errors_total"),
-		latency: reg.Histogram("coskq_query_seconds", latencyBuckets),
-		owners:  reg.Histogram("coskq_query_owners_tried", effortBuckets),
-		nodes:   reg.Histogram("coskq_query_nodes_expanded", effortBuckets),
-		cands:   reg.Histogram("coskq_query_candidates_seen", effortBuckets),
-		sets:    reg.Histogram("coskq_query_sets_evaluated", effortBuckets),
+		reg:      reg,
+		queries:  reg.Counter("coskq_queries_total"),
+		errs:     reg.Counter("coskq_query_errors_total"),
+		parallel: reg.Counter("coskq_parallel_queries_total"),
+		workers:  reg.Gauge("coskq_query_workers"),
+		latency:  reg.Histogram("coskq_query_seconds", latencyBuckets),
+		owners:   reg.Histogram("coskq_query_owners_tried", effortBuckets),
+		nodes:    reg.Histogram("coskq_query_nodes_expanded", effortBuckets),
+		cands:    reg.Histogram("coskq_query_candidates_seen", effortBuckets),
+		sets:     reg.Histogram("coskq_query_sets_evaluated", effortBuckets),
 	}
 }
 
@@ -102,6 +106,10 @@ func (m *EngineMetrics) recordSolve(cost CostKind, method Method, res Result, er
 		m.errs.Inc()
 		m.reg.Counter(fmt.Sprintf("coskq_query_errors_total{reason=%q}", errorReason(err))).Inc()
 		return
+	}
+	if w := res.Stats.Workers; w > 1 {
+		m.parallel.Inc()
+		m.workers.Set(float64(w))
 	}
 	m.owners.Observe(float64(res.Stats.OwnersTried))
 	m.nodes.Observe(float64(res.Stats.NodesExpanded))

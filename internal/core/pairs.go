@@ -44,11 +44,14 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 	// its set).
 	matSp := e.tr.Begin("materialize")
 	matStart := time.Now()
-	var cands []cand
+	scratch := getOwnerScratch()
+	defer putOwnerScratch(scratch)
+	cands := scratch.pool[:0]
 	e.Tree.RelevantInDisk(geo.Circle{C: q.Loc, R: curCost}, qi, func(o *dataset.Object, m kwds.Mask) bool {
 		cands = append(cands, cand{o: o, d: q.Loc.Dist(o.Loc), mask: m})
 		return true
 	})
+	scratch.pool = cands
 	stats.CandidatesSeen = len(cands)
 	stats.Phases.Materialize = time.Since(matStart)
 	if matSp != nil {
@@ -127,7 +130,7 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 				continue
 			}
 			stats.OwnersTried++
-			set, c := e.bestFeasibleForTriple(q, qi, cost, cands, p.i, p.j, m, p.dij, curCost, &stats)
+			set, c := e.bestFeasibleForTriple(q, qi, cost, cands, p.i, p.j, m, p.dij, curCost, scratch, &stats)
 			if set != nil && c < curCost {
 				curSet, curCost = canonical(set), c
 			}
@@ -151,7 +154,7 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 // triple (oi, oj, om), with the remaining members drawn from the region
 // R = C(oi, dij) ∩ C(oj, dij) ∩ C(q, d(om, q)) (the paper's
 // findBestFeasibleSet). Returns (nil, 0) when none beats bound.
-func (e *Engine) bestFeasibleForTriple(q Query, qi *kwds.QueryIndex, cost CostKind, cands []cand, i, j, m int, dij, bound float64, stats *Stats) ([]dataset.ObjectID, float64) {
+func (e *Engine) bestFeasibleForTriple(q Query, qi *kwds.QueryIndex, cost CostKind, cands []cand, i, j, m int, dij, bound float64, scratch *ownerScratch, stats *Stats) ([]dataset.ObjectID, float64) {
 	oi, oj, om := &cands[i], &cands[j], &cands[m]
 	base := []dataset.ObjectID{oi.o.ID, oj.o.ID, om.o.ID}
 	covered := oi.mask | oj.mask | om.mask
@@ -165,7 +168,7 @@ func (e *Engine) bestFeasibleForTriple(q Query, qi *kwds.QueryIndex, cost CostKi
 	}
 
 	// Region candidates for the uncovered keywords.
-	var region []int
+	region := scratch.region[:0]
 	for r := range cands {
 		c := &cands[r]
 		if c.mask&^covered == 0 {
@@ -183,7 +186,7 @@ func (e *Engine) bestFeasibleForTriple(q Query, qi *kwds.QueryIndex, cost CostKi
 	var (
 		bestSet  []dataset.ObjectID
 		bestCost = bound
-		chosen   []int
+		chosen   = scratch.ichosen[:0]
 	)
 	var dfs func(cov kwds.Mask)
 	dfs = func(cov kwds.Mask) {
@@ -218,6 +221,7 @@ func (e *Engine) bestFeasibleForTriple(q Query, qi *kwds.QueryIndex, cost CostKi
 		}
 	}
 	dfs(covered)
+	scratch.region, scratch.ichosen = region, chosen[:0]
 
 	if bestSet == nil {
 		return nil, 0

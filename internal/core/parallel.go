@@ -1,0 +1,383 @@
+package core
+
+// Intra-query parallel owner enumeration (DESIGN.md §10). The distance
+// owner-driven search is embarrassingly parallel per candidate owner:
+// each owner's cover enumeration needs only the shared incumbent cost as
+// a bound. The coordinator goroutine keeps the serial algorithm's
+// enumeration role — it pops candidate owners ascending by d(o,q) and
+// grows the candidate pool — while a bounded worker pool runs the
+// per-owner sub-searches, sharing the incumbent through an atomic bound.
+//
+// Determinism: parallel runs return the identical cost AND identical
+// canonical set as the serial path (enforced by TestParallelMatchesSerial
+// under -race). Three mechanisms combine to guarantee it:
+//
+//  1. Per-owner invariance. A per-owner sub-search returns the DFS-first
+//     minimum-cost set whenever its bound stays above that minimum: a
+//     branch containing the first minimum leaf has a lower bound ≤ the
+//     minimum < bound, so it is never pruned before that leaf is found,
+//     and improvements are strict, so later equal-cost leaves never
+//     replace it. The bound's exact trajectory is irrelevant.
+//  2. Tie-aware bounds. Workers search one ulp above the incumbent
+//     (math.Nextafter), so a set merely equal to the incumbent's cost is
+//     still found when it comes from an earlier-enumerated owner.
+//  3. Ordered merge. offer() resolves candidates lexicographically by
+//     (cost, enumeration index), with the NN seed at index −1 — exactly
+//     the order in which the serial loop's strict-improvement rule keeps
+//     the first owner achieving the final cost.
+//
+// The enumeration itself also matches: the shared bound at any pop is at
+// least the serial incumbent at the same pop (the parallel run knows a
+// subset of the finished owners the serial run knows), so the serial pop
+// sequence is a prefix of the parallel one and enumeration indices agree;
+// the extra owners a parallel run admits have strictly larger indices and
+// can at best tie, so the merge discards them.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coskq/internal/dataset"
+	"coskq/internal/kwds"
+	"coskq/internal/trace"
+)
+
+// parShared is the coordination state of one parallel exact search.
+type parShared struct {
+	// nodes is the global node-expansion counter: under parallelism the
+	// NodeBudget must trip on the sum across workers, not on any one
+	// worker's count (chargeNode).
+	nodes atomic.Int64
+	// bound holds math.Float64bits of the incumbent cost for lock-free
+	// reads in the DFS hot loops. Costs are non-negative, so the uint64
+	// order of the bits matches the float order and the value is only
+	// ever stored decreasing (under mu).
+	bound atomic.Uint64
+	// failed flips once when any goroutine panics (budget trip,
+	// cancellation): workers drain their queue without working, the
+	// producer stops enumerating, and the coordinator re-raises the
+	// recorded panic after the join so recoverBudget converts it.
+	failed atomic.Bool
+
+	mu     sync.Mutex
+	cost   float64
+	ord    int // enumeration index of the incumbent's owner; -1 = NN seed
+	set    []dataset.ObjectID
+	panicV any
+}
+
+func newParShared(seedSet []dataset.ObjectID, seedCost float64) *parShared {
+	sh := &parShared{cost: seedCost, ord: -1, set: seedSet}
+	sh.bound.Store(math.Float64bits(seedCost))
+	return sh
+}
+
+// costLoad returns the incumbent cost without taking the mutex.
+func (sh *parShared) costLoad() float64 { return math.Float64frombits(sh.bound.Load()) }
+
+// offer installs (set, c), found for the owner with enumeration index
+// ord, iff it beats the incumbent in (cost, ord) lexicographic order —
+// the serial tie-breaking order. set is copied via canonical, so callers
+// may keep reusing its backing array.
+func (sh *parShared) offer(set []dataset.ObjectID, c float64, ord int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if c > sh.cost || (c == sh.cost && ord >= sh.ord) {
+		return
+	}
+	sh.cost, sh.ord, sh.set = c, ord, canonical(set)
+	sh.bound.Store(math.Float64bits(c))
+}
+
+// fail records the first panic value and flips failed.
+func (sh *parShared) fail(r any) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if !sh.failed.Load() {
+		sh.panicV = r
+		sh.failed.Store(true)
+	}
+}
+
+// firstPanic returns the recorded panic value, nil when none.
+func (sh *parShared) firstPanic() any {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.panicV
+}
+
+// ownerTask is one unit of worker work: the best feasible set owned by
+// pool[ownerIdx]. pool and bits are snapshots taken at enqueue time; the
+// producer only ever appends past their lengths (or reallocates, leaving
+// the snapshot's array untouched), so workers read them without
+// synchronization. bits must be a copied header slice — the producer
+// rewrites the outer bitCands elements on append, and a slice header is
+// several words.
+type ownerTask struct {
+	ord      int
+	ownerIdx int32
+	dof      float64
+	pool     []cand
+	bits     [][]int32
+}
+
+// ownerExactPar is the parallel form of ownerExact, dispatched when
+// parWorkers() > 1. The trace layout mirrors the serial one, with the
+// per-owner sub-search spans grouped under a concurrent "owner_workers"
+// group span.
+func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result, err error) {
+	defer recoverBudget(&err)
+	start := time.Now()
+	qi := kwds.NewQueryIndex(q.Keywords)
+	algo := e.tr.Begin("owner_exact")
+	var stats Stats
+	stats.Workers = workers
+	seed, seedCost, df, err := e.nnSeed(q, cost, &stats)
+	if err != nil {
+		algo.End()
+		return Result{}, err
+	}
+	stats.SetsEvaluated = 1
+	if algo != nil {
+		algo.Attr("workers", float64(workers))
+	}
+
+	sh := newParShared(canonical(seed), seedCost)
+	loop := e.tr.Begin("owner_loop")
+	grp := e.tr.BeginGroup("owner_workers")
+	searchStart := time.Now()
+
+	tasks := make(chan ownerTask, 2*workers)
+	workerStats := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wc := *e
+		wc.shared = sh
+		wc.nnmemo = nil // not goroutine-safe; the sub-searches never seed
+		wg.Add(1)
+		go func(wc *Engine, ws *Stats) {
+			defer wg.Done()
+			wc.ownerWorker(qi, cost, tasks, grp, ws)
+		}(&wc, &workerStats[w])
+	}
+
+	// The producer runs on the coordinator goroutine. A panic here
+	// (cancellation poll) is parked in sh instead of unwinding past the
+	// channel close — the workers must always see a closed channel, or
+	// they would block forever — and re-raised after the join.
+	scratch := getOwnerScratch()
+	pool, bitCands := scratch.pool[:0], scratch.ensureBits(qi.Size())
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				sh.fail(r)
+			}
+		}()
+		it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
+		ord := 0
+		for !sh.failed.Load() {
+			if !e.Ablation.NoIncumbentBreak {
+				it.Limit(sh.costLoad())
+			}
+			o, dof, ok := it.Next()
+			if !ok {
+				break
+			}
+			if dof >= sh.costLoad() {
+				stats.Prunes[trace.PruneIncumbentBreak]++
+				if !e.Ablation.NoIncumbentBreak {
+					break
+				}
+				stats.CandidatesSeen++
+				continue
+			}
+			mask := qi.MaskOf(o.Keywords)
+			idx := int32(len(pool))
+			pool = append(pool, cand{o: o, d: dof, mask: mask})
+			for b := 0; b < qi.Size(); b++ {
+				if mask&(1<<uint(b)) != 0 {
+					bitCands[b] = append(bitCands[b], idx)
+				}
+			}
+			stats.CandidatesSeen++
+			e.pollCancel(stats.CandidatesSeen)
+			if dof < df && !e.Ablation.NoOwnerRing {
+				stats.Prunes[trace.PruneOwnerRing]++
+				continue
+			}
+			stats.OwnersTried++
+			bits := make([][]int32, len(bitCands))
+			copy(bits, bitCands)
+			tasks <- ownerTask{ord: ord, ownerIdx: idx, dof: dof, pool: pool[:idx+1], bits: bits}
+			ord++
+		}
+	}()
+	close(tasks)
+	wg.Wait()
+	grp.End()
+
+	// Workers have joined: their pool/bits snapshots are dead, so the
+	// backing arrays may recirculate.
+	scratch.pool = pool
+	putOwnerScratch(scratch)
+
+	for w := range workerStats {
+		stats.merge(&workerStats[w])
+	}
+	stats.Phases.Search = time.Since(searchStart)
+	if loop != nil {
+		loop.Attr("candidates", float64(stats.CandidatesSeen))
+		loop.Attr("owners_tried", float64(stats.OwnersTried))
+		loop.Attr("nodes", float64(stats.NodesExpanded))
+		loop.Attr("sets_evaluated", float64(stats.SetsEvaluated))
+		loop.Attr("cost", sh.cost)
+	}
+	loop.End()
+	algo.End()
+	if p := sh.firstPanic(); p != nil {
+		panic(p) // recoverBudget (deferred above) converts it into err
+	}
+	stats.Elapsed = time.Since(start)
+	return Result{Set: sh.set, Cost: sh.cost, Cost2: cost, Stats: stats}, nil
+}
+
+// ownerWorker consumes owner tasks until the channel closes. After a
+// failure it keeps draining so the producer never blocks on a full
+// channel.
+func (e *Engine) ownerWorker(qi *kwds.QueryIndex, cost CostKind, tasks <-chan ownerTask, grp *trace.Group, stats *Stats) {
+	scratch := getOwnerScratch()
+	defer putOwnerScratch(scratch)
+	for t := range tasks {
+		if e.shared.failed.Load() {
+			continue
+		}
+		e.runOwnerTask(qi, cost, t, grp, scratch, stats)
+	}
+}
+
+// runOwnerTask solves one owner sub-search, trapping budget/cancel
+// panics into the shared failure slot.
+func (e *Engine) runOwnerTask(qi *kwds.QueryIndex, cost CostKind, t ownerTask, grp *trace.Group, scratch *ownerScratch, stats *Stats) {
+	sh := e.shared
+	defer func() {
+		if r := recover(); r != nil {
+			sh.fail(r)
+		}
+	}()
+	sp := grp.Begin("best_with_owner")
+	nodes0 := stats.NodesExpanded
+	// One ulp above the incumbent: an equal-cost set from an
+	// earlier-enumerated owner must stay findable (see the determinism
+	// notes atop this file); offer() then resolves the tie by index.
+	bound := math.Nextafter(sh.costLoad(), math.Inf(1))
+	set, c := e.bestWithOwner(qi, cost, t.pool, t.bits, int(t.ownerIdx), bound, scratch, stats)
+	if set == nil {
+		sp.Drop()
+		return
+	}
+	sh.offer(set, c, t.ord)
+	if sp != nil {
+		sp.Attr("owner_id", float64(t.pool[t.ownerIdx].o.ID))
+		sp.Attr("d_owner", t.dof)
+		sp.Attr("ord", float64(t.ord))
+		sp.Attr("nodes", float64(stats.NodesExpanded-nodes0))
+		sp.Attr("cost", c)
+	}
+	sp.End()
+}
+
+// caoSearchPar fans the top level of Cao-Exact's branch-and-bound out
+// across workers: the root branches on one keyword's candidate list, and
+// each candidate roots an independent subtree whose enumeration only
+// needs the incumbent bound. Subtree index doubles as the merge order,
+// so the same (cost, ord) rule as ownerExactPar keeps results identical
+// to the serial search. Returns the best (set, cost) found, merging
+// worker stats into stats.
+func (e *Engine) caoSearchPar(qi *kwds.QueryIndex, cost CostKind, cands [][]kwCand, branch int, seedSet []dataset.ObjectID, seedCost float64, stats *Stats, workers int) ([]dataset.ObjectID, float64) {
+	sh := newParShared(seedSet, seedCost)
+	grp := e.tr.BeginGroup("bnb_workers")
+	tasks := make(chan int, 2*workers)
+	workerStats := make([]Stats, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wc := *e
+		wc.shared = sh
+		wc.nnmemo = nil
+		wg.Add(1)
+		go func(wc *Engine, ws *Stats) {
+			defer wg.Done()
+			wc.caoWorker(qi, cost, cands, branch, tasks, grp, ws)
+		}(&wc, &workerStats[w])
+	}
+	for j := range cands[branch] {
+		if sh.failed.Load() {
+			break
+		}
+		tasks <- j
+	}
+	close(tasks)
+	wg.Wait()
+	grp.End()
+	for w := range workerStats {
+		stats.merge(&workerStats[w])
+	}
+	if p := sh.firstPanic(); p != nil {
+		panic(p) // caoExact's recoverBudget converts it
+	}
+	return sh.set, sh.cost
+}
+
+// caoWorker consumes top-level subtree indices until the channel closes.
+func (e *Engine) caoWorker(qi *kwds.QueryIndex, cost CostKind, cands [][]kwCand, branch int, tasks <-chan int, grp *trace.Group, stats *Stats) {
+	scratch := getCaoScratch()
+	defer putCaoScratch(scratch)
+	s := &caoSearch{e: e, qi: qi, cost: cost, cands: cands, stats: stats, sh: e.shared}
+	for j := range tasks {
+		if e.shared.failed.Load() {
+			continue
+		}
+		e.runCaoTask(s, scratch, j, branch, grp)
+	}
+	scratch.chosen, scratch.chosenIDs = s.chosen, s.chosenIDs
+}
+
+// runCaoTask runs one top-level subtree, trapping budget/cancel panics
+// into the shared failure slot.
+func (e *Engine) runCaoTask(s *caoSearch, scratch *caoScratch, j, branch int, grp *trace.Group) {
+	sh := e.shared
+	defer func() {
+		if r := recover(); r != nil {
+			sh.fail(r)
+		}
+	}()
+	kc := s.cands[branch][j]
+	bound := math.Nextafter(sh.costLoad(), math.Inf(1))
+	if kc.d >= bound {
+		s.stats.Prunes[trace.PruneDistanceBreak]++
+		return
+	}
+	if combine(s.cost, kc.d, 0) >= bound {
+		s.stats.Prunes[trace.PrunePairBound]++
+		return
+	}
+	sp := grp.Begin("bnb_subtree")
+	nodes0 := s.stats.NodesExpanded
+	s.ord = j
+	s.chosen = append(scratch.chosen[:0], kc.o)
+	s.chosenIDs = append(scratch.chosenIDs[:0], kc.o.ID)
+	s.dfs(kc.mask, kc.d, 0)
+	scratch.chosen, scratch.chosenIDs = s.chosen[:0], s.chosenIDs[:0]
+	if sp != nil {
+		if nodes := s.stats.NodesExpanded - nodes0; nodes > 16 {
+			sp.Attr("root_id", float64(kc.o.ID))
+			sp.Attr("ord", float64(j))
+			sp.Attr("nodes", float64(nodes))
+			sp.End()
+		} else {
+			// Tiny subtrees are noise; fold them into the group span.
+			sp.Drop()
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/dataset"
+)
+
+func equalIDs(a, b []dataset.ObjectID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelMatchesSerial is the determinism contract of DESIGN.md §10:
+// for every query, every worker count returns the identical cost AND the
+// identical canonical set as the serial search. Run under -race this also
+// exercises the snapshot-sharing discipline of the owner/candidate pools.
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, seed := range []int64{3, 17, 99} {
+		rng := rand.New(rand.NewSource(seed))
+		e := genEngine(rng, 900, 25, 4)
+		queries := make([]Query, 12)
+		for i := range queries {
+			queries[i] = randQuery(rng, 25, 2+i%3)
+		}
+		for _, cost := range []CostKind{MaxSum, Dia} {
+			for _, m := range []Method{OwnerExact, CaoExact} {
+				t.Run(fmt.Sprintf("seed%d/%v/%v", seed, cost, m), func(t *testing.T) {
+					for qi, q := range queries {
+						serial := *e
+						serial.Parallelism = 1
+						want, errS := serial.Solve(q, cost, m)
+						for _, workers := range []int{2, 4, 8} {
+							par := *e
+							par.Parallelism = workers
+							got, errP := par.Solve(q, cost, m)
+							if (errS == nil) != (errP == nil) {
+								t.Fatalf("q%d workers=%d: err = %v, serial err = %v", qi, workers, errP, errS)
+							}
+							if errS != nil {
+								if !errors.Is(errP, errS) {
+									t.Fatalf("q%d workers=%d: err = %v, want %v", qi, workers, errP, errS)
+								}
+								continue
+							}
+							if got.Cost != want.Cost {
+								t.Fatalf("q%d workers=%d: cost = %v, serial = %v", qi, workers, got.Cost, want.Cost)
+							}
+							if !equalIDs(got.Set, want.Set) {
+								t.Fatalf("q%d workers=%d: set = %v, serial = %v (cost %v)", qi, workers, got.Set, want.Set, got.Cost)
+							}
+							if got.Stats.Workers != workers {
+								t.Errorf("q%d workers=%d: Stats.Workers = %d", qi, workers, got.Stats.Workers)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelNodeAccounting: the merged per-worker NodesExpanded must
+// equal the shared global counter the budget trips on — no expansion may
+// be double- or under-counted when stats merge after the join.
+func TestParallelNodeAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	e := genEngine(rng, 700, 20, 4)
+	e.Parallelism = 4
+	for i := 0; i < 8; i++ {
+		q := randQuery(rng, 20, 3)
+		res, err := e.Solve(q, MaxSum, OwnerExact)
+		if err != nil {
+			t.Fatalf("q%d: %v", i, err)
+		}
+		if res.Stats.NodesExpanded < 0 {
+			t.Fatalf("q%d: negative NodesExpanded", i)
+		}
+	}
+}
+
+// TestParallelBudgetTrip: a budget that trips mid-search while workers
+// are running must surface as ErrBudgetExceeded from the coordinator —
+// the worker panic is parked, the pool drains, and the join re-raises it.
+func TestParallelBudgetTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	e := genEngine(rng, 900, 20, 4)
+	q := randQuery(rng, 20, 4)
+
+	// Measure the search's full effort serially, then set the budget to a
+	// fraction of it so the trip happens mid-enumeration, not on entry.
+	serial := *e
+	serial.Parallelism = 1
+	res, err := serial.Solve(q, MaxSum, OwnerExact)
+	if err != nil {
+		t.Fatalf("unbudgeted: %v", err)
+	}
+	if res.Stats.NodesExpanded < 8 {
+		t.Skipf("query too easy to trip a mid-search budget (%d nodes)", res.Stats.NodesExpanded)
+	}
+
+	for _, workers := range []int{2, 4, 8} {
+		par := *e
+		par.Parallelism = workers
+		par.NodeBudget = res.Stats.NodesExpanded / 2
+		if _, err := par.Solve(q, MaxSum, OwnerExact); !errors.Is(err, ErrBudgetExceeded) {
+			t.Errorf("workers=%d budget=%d: err = %v, want ErrBudgetExceeded", workers, par.NodeBudget, err)
+		}
+		par.NodeBudget = 1
+		for _, m := range []Method{OwnerExact, CaoExact} {
+			if _, err := par.Solve(q, MaxSum, m); !errors.Is(err, ErrBudgetExceeded) {
+				t.Errorf("workers=%d %v budget=1: err = %v, want ErrBudgetExceeded", workers, m, err)
+			}
+		}
+	}
+}
+
+// TestOwnerExactAllocs pins the zero-alloc hot path: after warmup, the
+// pooled serial search must run within a small fixed allocation count per
+// query (result set, canonical copies, iterator state — not the candidate
+// pool, bit indexes, or partial-set scratch, which all recycle).
+func TestOwnerExactAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	e := genEngine(rng, 700, 20, 4)
+	e.Parallelism = 1
+	queries := make([]Query, 4)
+	for i := range queries {
+		queries[i] = randQuery(rng, 20, 3)
+	}
+	for _, m := range []Method{OwnerExact, PairsExact, CaoExact} {
+		// Warm the scratch pools.
+		for _, q := range queries {
+			if _, err := e.Solve(q, MaxSum, m); err != nil {
+				t.Fatalf("%v warmup: %v", m, err)
+			}
+		}
+		q := queries[0]
+		got := testing.AllocsPerRun(30, func() {
+			if _, err := e.Solve(q, MaxSum, m); err != nil {
+				t.Fatal(err)
+			}
+		})
+		// The bound is deliberately loose enough to absorb iterator and
+		// result-set allocations but tight enough that reverting any one
+		// scratch pool (candidates, bitCands, partial sets) blows it.
+		const maxAllocs = 60
+		if got > maxAllocs {
+			t.Errorf("%v: %.1f allocs/op, want ≤ %d", m, got, maxAllocs)
+		}
+	}
+}

@@ -86,6 +86,7 @@ func (e *Engine) TopKCtx(ctx context.Context, q Query, cost CostKind, k int) ([]
 	if err != nil {
 		return nil, err
 	}
+	defer putNNMemo(run.nnmemo)
 	return run.topK(q, cost, k)
 }
 

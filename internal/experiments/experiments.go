@@ -54,6 +54,9 @@ type Options struct {
 	// prints them after the run). Tracing every execution costs a few
 	// percent; leave nil for timing-faithful runs.
 	SlowLog *trace.SlowLog
+	// Workers sets every engine's intra-query parallelism
+	// (0 = GOMAXPROCS, 1 = serial; coskq-bench -workers).
+	Workers int
 }
 
 // newEngine builds an engine for one experiment dataset with the suite's
@@ -61,6 +64,7 @@ type Options struct {
 func (o Options) newEngine(ds *dataset.Dataset) *core.Engine {
 	eng := core.NewEngine(ds, 0)
 	eng.Metrics = o.Metrics
+	eng.Parallelism = o.Workers
 	return eng
 }
 

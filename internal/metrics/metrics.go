@@ -37,6 +37,31 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge is a value that can go up and down (a worker count, a pool
+// size). The zero value is ready to use; all methods are safe for
+// concurrent use. Values are float64 so counts and ratios share one
+// representation.
+type Gauge struct {
+	v atomic.Uint64 // float64 bits
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.v.Store(math.Float64bits(v)) }
+
+// Add adds d (atomically, via CAS).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.v.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.v.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.v.Load()) }
+
 // Histogram counts observations into fixed buckets with inclusive upper
 // bounds, plus an implicit +Inf overflow bucket, and tracks the running
 // sum of observed values. All methods are safe for concurrent use;
@@ -117,6 +142,7 @@ func (h *Histogram) Snapshot() Snapshot {
 type Registry struct {
 	mu       sync.RWMutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -124,6 +150,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -144,6 +171,24 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Histogram returns the histogram registered under name, creating it
@@ -214,6 +259,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for name := range r.counters {
 		counterNames = append(counterNames, name)
 	}
+	gaugeNames := make([]string, 0, len(r.gauges))
+	for name := range r.gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
 	histNames := make([]string, 0, len(r.hists))
 	for name := range r.hists {
 		histNames = append(histNames, name)
@@ -222,6 +271,10 @@ func (r *Registry) WriteText(w io.Writer) error {
 	for name, c := range r.counters {
 		counters[name] = c
 	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for name, g := range r.gauges {
+		gauges[name] = g
+	}
 	hists := make(map[string]*Histogram, len(r.hists))
 	for name, h := range r.hists {
 		hists[name] = h
@@ -229,6 +282,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.RUnlock()
 
 	sortByFamily(counterNames)
+	sortByFamily(gaugeNames)
 	sortByFamily(histNames)
 
 	lastType := ""
@@ -240,6 +294,18 @@ func (r *Registry) WriteText(w io.Writer) error {
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	lastType = ""
+	for _, name := range gaugeNames {
+		if base := baseName(name); base != lastType {
+			lastType = base
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n", base); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(gauges[name].Value(), 'g', -1, 64)); err != nil {
 			return err
 		}
 	}

@@ -245,7 +245,7 @@ func TestWriteTextStrictFormat(t *testing.T) {
 }
 
 // stripLe removes the le label from a bucket label set, leaving the
-// histogram's own labels: `{cost="X",le="1"}` → `{cost="X"}`, `{le="1"}` → ``.
+// histogram's own labels: `{cost="X",le="1"}` → `{cost="X"}`, `{le="1"}` → “.
 func stripLe(labels string) string {
 	inner := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
 	var kept []string
@@ -289,5 +289,64 @@ func TestWriteTextDeterministic(t *testing.T) {
 		if !strings.Contains(first, want) {
 			t.Errorf("exposition missing %q:\n%s", want, first)
 		}
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Fatal("zero gauge not zero")
+	}
+	g.Set(4)
+	g.Add(2.5)
+	g.Add(-1.5)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %v, want 5", g.Value())
+	}
+	g.Set(-3)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %v, want -3 (gauges may decrease)", g.Value())
+	}
+}
+
+func TestGaugeConcurrentAddExact(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8000 {
+		t.Fatalf("gauge = %v, want 8000", g.Value())
+	}
+}
+
+func TestWriteTextGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Inc()
+	r.Gauge("coskq_query_workers").Set(4)
+	r.Gauge(`coskq_query_workers{method="OwnerExact"}`).Set(8)
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# TYPE c_total counter\n" +
+		"c_total 1\n" +
+		"# TYPE coskq_query_workers gauge\n" +
+		"coskq_query_workers 4\n" +
+		"coskq_query_workers{method=\"OwnerExact\"} 8\n"
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Same instance on repeated lookup.
+	if r.Gauge("coskq_query_workers").Value() != 4 {
+		t.Fatal("gauge lookup did not return the registered instance")
 	}
 }

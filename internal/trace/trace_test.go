@@ -232,3 +232,103 @@ func TestSlowLogConcurrent(t *testing.T) {
 		t.Fatalf("slowest retained = %v, want 7199", got[0].ElapsedMs)
 	}
 }
+
+func TestGroupConcurrentSpans(t *testing.T) {
+	tr := New("query")
+	algo := tr.Begin("owner_exact")
+	grp := tr.BeginGroup("owner_workers")
+	const workers, perWorker = 8, 10
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := grp.Begin("best_with_owner")
+				sp.Attr("worker", float64(w))
+				if i%2 == 0 {
+					sp.End() // kept
+				} else {
+					sp.Drop() // discarded, slot refunded
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	grp.Attr("workers", workers)
+	grp.End()
+	algo.End()
+	tr.Finish()
+
+	x := tr.Export()
+	if len(x.Spans) != 1 || x.Spans[0].Name != "owner_exact" {
+		t.Fatalf("top spans = %+v", x.Spans)
+	}
+	var group *SpanExport
+	for _, s := range x.Spans[0].Children {
+		if s.Name == "owner_workers" {
+			group = s
+		}
+	}
+	if group == nil {
+		t.Fatalf("no owner_workers span: %+v", x.Spans[0].Children)
+	}
+	if got, want := len(group.Children), workers*perWorker/2; got != want {
+		t.Fatalf("group children = %d, want %d (Dropped spans must vanish)", got, want)
+	}
+	for _, s := range group.Children {
+		if s.Name != "best_with_owner" {
+			t.Fatalf("unexpected child %q", s.Name)
+		}
+	}
+	if group.Attrs["workers"] != workers {
+		t.Fatalf("group attrs = %v", group.Attrs)
+	}
+}
+
+func TestGroupNilSafe(t *testing.T) {
+	var tr *Trace
+	grp := tr.BeginGroup("g")
+	if grp != nil {
+		t.Fatal("nil trace must yield nil group")
+	}
+	sp := grp.Begin("child")
+	sp.Attr("k", 1)
+	sp.End()
+	sp.Drop()
+	grp.Attr("k", 1)
+	grp.End()
+}
+
+func TestGroupRespectsSpanBudget(t *testing.T) {
+	tr := New("query")
+	grp := tr.BeginGroup("g")
+	var wg sync.WaitGroup
+	kept := make([]int, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < DefaultMaxSpans; i++ {
+				if sp := grp.Begin("s"); sp != nil {
+					kept[w]++
+					sp.End()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	grp.End()
+	tr.Finish()
+	total := 0
+	for _, k := range kept {
+		total += k
+	}
+	// The group span itself consumed one budget slot.
+	if total != DefaultMaxSpans-1 {
+		t.Fatalf("kept %d spans, want %d", total, DefaultMaxSpans-1)
+	}
+	if tr.Export().SpanCount() != DefaultMaxSpans+1 {
+		t.Fatalf("span count = %d", tr.Export().SpanCount())
+	}
+}
