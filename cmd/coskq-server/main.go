@@ -7,7 +7,9 @@
 //
 // Usage:
 //
-//	coskq-server -data hotel.gob -addr :8080 [-timeout 30s] [-budget 0] [-pprof]
+//	coskq-server -data hotel.gob -addr :8080 [-timeout 30s] [-budget 0]
+//	             [-degrade incumbent] [-max-inflight 64 -max-queue 128 -queue-timeout 2s]
+//	             [-budget-per-second 2e6] [-pprof]
 //
 // Endpoints:
 //
@@ -52,9 +54,19 @@ func main() {
 		slowlog   = flag.Int("slowlog", 0, "slow-query log capacity for /debug/slowlog (0 = default, negative disables)")
 		pprofFlag = flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		workers   = flag.Int("workers", 0, "worker goroutines per exact search (0 = GOMAXPROCS, 1 = serial)")
+		degrade   = flag.String("degrade", "fail", "anytime-answer policy when budget/deadline trips a search: fail, incumbent, or fallback")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently solving /query+/topk requests, excess queues then sheds with 429 (0 = unlimited)")
+		maxQueue  = flag.Int("max-queue", 0, "admission wait-queue depth beyond -max-inflight (0 = shed immediately when saturated)")
+		queueWait = flag.Duration("queue-timeout", 0, "max time a request waits in the admission queue before a 429 (0 = bounded only by -timeout)")
+		budgetPS  = flag.Float64("budget-per-second", 0, "derive each request's node budget as rate x seconds left to its deadline (0 = disabled)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	policy, ok := core.ParseDegradePolicy(*degrade)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "coskq-server: unknown -degrade policy %q (use fail, incumbent, or fallback)\n", *degrade)
+		os.Exit(2)
+	}
 	if *data == "" {
 		fmt.Fprintln(os.Stderr, "coskq-server: -data is required")
 		flag.Usage()
@@ -84,10 +96,15 @@ func main() {
 
 	mux := http.NewServeMux()
 	mux.Handle("/", server.NewWith(eng, server.Options{
-		Timeout:  *timeout,
-		Logger:   logger,
-		Registry: reg,
-		SlowLog:  *slowlog,
+		Timeout:             *timeout,
+		Logger:              logger,
+		Registry:            reg,
+		SlowLog:             *slowlog,
+		MaxInFlight:         *inflight,
+		MaxQueue:            *maxQueue,
+		QueueTimeout:        *queueWait,
+		Degrade:             policy,
+		NodeBudgetPerSecond: *budgetPS,
 	}))
 	if *pprofFlag {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -103,7 +120,8 @@ func main() {
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
 	}
-	logger.Info("listening", "addr", *addr, "timeout", *timeout, "budget", *budget)
+	logger.Info("listening", "addr", *addr, "timeout", *timeout, "budget", *budget,
+		"degrade", *degrade, "max_inflight", *inflight, "max_queue", *maxQueue)
 	if err := srv.ListenAndServe(); err != nil {
 		logger.Error("server exited", "err", err)
 		os.Exit(1)

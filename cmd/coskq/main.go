@@ -70,6 +70,8 @@ func main() {
 		svgOut  = flag.String("svg", "", "also render the answer to this SVG file")
 		explain = flag.Bool("explain", false, "print the per-phase execution trace after the answer")
 		workers = flag.Int("workers", 0, "worker goroutines per exact search (0 = GOMAXPROCS, 1 = serial)")
+		budget  = flag.Int("budget", 0, "exact-search node budget (0 = unlimited)")
+		degrade = flag.String("degrade", "fail", "when -budget trips: fail, incumbent (best set so far), or fallback (approximate answer)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -102,9 +104,16 @@ func main() {
 	if err != nil {
 		die(err)
 	}
+	policy, okP := coskq.ParseDegradePolicy(*degrade)
+	if !okP {
+		die(fmt.Errorf("unknown -degrade policy %q (use fail, incumbent, or fallback)", *degrade))
+	}
+
 	fmt.Printf("dataset %s: %s\n", ds.Name, ds.Stats())
 	eng := coskq.NewEngine(ds, *fanout)
 	eng.Parallelism = *workers
+	eng.NodeBudget = *budget
+	eng.Degrade = policy
 
 	var keywords coskq.KeywordSet
 	switch {
@@ -140,6 +149,10 @@ func main() {
 	res, err := eng.SolveCtx(ctx, q, cost, m)
 	if err != nil {
 		die(err)
+	}
+	if res.Degraded {
+		fmt.Printf("DEGRADED answer (%s): best feasible set found before the search was cut short\n",
+			res.Stats.DegradeReason)
 	}
 	fmt.Printf("cost: %.6g   (elapsed %s, owners tried %d, sets evaluated %d, nodes expanded %d)\n",
 		res.Cost, stats.FmtDuration(res.Stats.Elapsed),

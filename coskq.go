@@ -122,6 +122,28 @@ var ErrInfeasible = core.ErrInfeasible
 // ErrUnsupported is returned for a cost/method pair with no algorithm.
 var ErrUnsupported = core.ErrUnsupported
 
+// ErrBudgetExceeded is returned when NodeBudget trips an exact search
+// under the default DegradeFail policy.
+var ErrBudgetExceeded = core.ErrBudgetExceeded
+
+// DegradePolicy selects what an interrupted search (budget, deadline,
+// cancellation) returns: the error (DegradeFail, the zero value), the
+// best feasible set found so far (DegradeIncumbent), or — when no
+// incumbent exists either — a fresh approximation (DegradeFallbackAppro).
+// Degraded answers carry Result.Degraded and Stats.DegradeReason.
+type DegradePolicy = core.DegradePolicy
+
+// Degrade policies for Engine.Degrade.
+const (
+	DegradeFail          = core.DegradeFail
+	DegradeIncumbent     = core.DegradeIncumbent
+	DegradeFallbackAppro = core.DegradeFallbackAppro
+)
+
+// ParseDegradePolicy maps a flag spelling ("fail", "incumbent",
+// "fallback"/"appro") to its policy.
+func ParseDegradePolicy(s string) (DegradePolicy, bool) { return core.ParseDegradePolicy(s) }
+
 // Engine owns a dataset and its indexes (IR-tree and inverted index) and
 // answers queries. Build once per dataset; safe for concurrent queries.
 type Engine = core.Engine

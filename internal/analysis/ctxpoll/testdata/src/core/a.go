@@ -5,6 +5,7 @@ package core
 import (
 	"context"
 
+	"fault"
 	"irtree"
 	"pqueue"
 )
@@ -144,6 +145,36 @@ func (e *Engine) okWorkerHelper(it *irtree.RelevantNNIterator) {
 			break
 		}
 		e.runTask(stats)
+	}
+}
+
+// badFaultHitOnly: a fault-injection point is not a cancellation poll —
+// with no schedule armed fault.Hit does nothing, so a loop that only
+// hits an injection point still runs unbounded and must be flagged.
+func (e *Engine) badFaultHitOnly(it *irtree.RelevantNNIterator) int {
+	n := 0
+	for {
+		fault.Hit(fault.RTreeVisit)
+		_, _, ok := it.Next() // want `search loop expands nodes but never polls`
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// okFaultHitPlusPoll: the injection point rides along with a real poll.
+func (e *Engine) okFaultHitPlusPoll(it *irtree.RelevantNNIterator) {
+	stats := &Stats{}
+	for {
+		fault.Hit(fault.OwnerEnum)
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Fake fault package for the ctxpoll fixtures: the real
+// coskq/internal/fault.Hit panics on an armed schedule but is NOT a
+// cancellation poll — a disarmed injection point does nothing, so a
+// search loop cannot discharge its polling obligation through it.
+package fault
+
+type Point string
+
+const (
+	RTreeVisit Point = "rtree.visit"
+	OwnerEnum  Point = "core.owner"
+)
+
+func Hit(p Point) {}

@@ -1,0 +1,250 @@
+// Package client is a small HTTP client for coskq-server with
+// overload-aware retries: transient failures (network errors and the
+// server's 429/502/503/504 refusals) are retried with jittered
+// exponential backoff, a 429's Retry-After hint overrides the computed
+// backoff, and degraded (anytime) answers are surfaced on the decoded
+// response rather than hidden. It pairs with the server's admission
+// controller — a shed request is explicitly cheap for the server, so
+// the polite client behaviour is to back off and come back, not to
+// hammer or to give up.
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Default retry tuning, used when the corresponding Client field is zero.
+const (
+	DefaultMaxRetries  = 3
+	DefaultBaseBackoff = 100 * time.Millisecond
+	DefaultMaxBackoff  = 5 * time.Second
+)
+
+// Client calls a coskq-server. The zero value is not usable: set Base.
+// All other fields are optional. A Client is safe for concurrent use.
+type Client struct {
+	// Base is the server root, e.g. "http://localhost:8080".
+	Base string
+	// HTTP is the underlying client; nil means http.DefaultClient. Give
+	// it a Timeout (or use request contexts) — this package bounds
+	// retries, not individual attempts.
+	HTTP *http.Client
+	// MaxRetries is the number of re-attempts after the first try.
+	// Negative disables retries entirely; zero means DefaultMaxRetries.
+	MaxRetries int
+	// BaseBackoff is the first retry delay; attempt n waits
+	// BaseBackoff·2ⁿ (capped at MaxBackoff), jittered uniformly down to
+	// half the computed value so synchronized clients desynchronize.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential growth.
+	MaxBackoff time.Duration
+
+	// sleep is the backoff wait, overridable by tests. nil means wait on
+	// a timer or the context, whichever ends first.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Object mirrors the server's per-object JSON.
+type Object struct {
+	ID          uint32   `json:"id"`
+	X           float64  `json:"x"`
+	Y           float64  `json:"y"`
+	DistToQuery float64  `json:"distToQuery"`
+	Keywords    []string `json:"keywords"`
+}
+
+// QueryResponse mirrors the server's /query body. Degraded answers —
+// anytime results returned under the server's degrade policy instead of
+// an overload error — carry Degraded=true and the reason ("budget",
+// "deadline", "cancelled").
+type QueryResponse struct {
+	Cost          float64  `json:"cost"`
+	CostKind      string   `json:"costKind"`
+	Method        string   `json:"method"`
+	ElapsedMs     float64  `json:"elapsedMs"`
+	Objects       []Object `json:"objects"`
+	Degraded      bool     `json:"degraded"`
+	DegradeReason string   `json:"degradeReason"`
+}
+
+// TopKResponse mirrors the server's /topk body.
+type TopKResponse struct {
+	Results []QueryResponse `json:"results"`
+}
+
+// QueryParams selects the query. Keywords must be non-empty; Cost and
+// Method default server-side (maxsum, exact).
+type QueryParams struct {
+	X, Y     float64
+	Keywords []string
+	Cost     string
+	Method   string
+}
+
+func (p QueryParams) values() url.Values {
+	v := url.Values{}
+	v.Set("x", strconv.FormatFloat(p.X, 'g', -1, 64))
+	v.Set("y", strconv.FormatFloat(p.Y, 'g', -1, 64))
+	v.Set("kw", strings.Join(p.Keywords, ","))
+	if p.Cost != "" {
+		v.Set("cost", p.Cost)
+	}
+	if p.Method != "" {
+		v.Set("method", p.Method)
+	}
+	return v
+}
+
+// APIError is a non-2xx reply from the server, carrying the decoded
+// JSON error envelope and, for shed (429) replies, the Retry-After
+// hint. Exhausted retries return the final attempt's APIError.
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+	Attempts   int
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("coskq-server: %d %s (after %d attempts): %s",
+		e.Status, http.StatusText(e.Status), e.Attempts, e.Message)
+}
+
+// Query answers one CoSKQ query, retrying transient failures.
+func (c *Client) Query(ctx context.Context, p QueryParams) (*QueryResponse, error) {
+	var out QueryResponse
+	if err := c.getJSON(ctx, "/query", p.values(), &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// TopK returns the n cheapest result sets, retrying transient failures.
+func (c *Client) TopK(ctx context.Context, p QueryParams, n int) (*TopKResponse, error) {
+	v := p.values()
+	v.Set("n", strconv.Itoa(n))
+	var out TopKResponse
+	if err := c.getJSON(ctx, "/topk", v, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// retryableStatus reports whether the server's reply invites another
+// attempt: explicit overload sheds (429), and the gateway/availability
+// statuses the server uses for exhausted budgets, cancellations, and
+// timeouts.
+func retryableStatus(status int) bool {
+	switch status {
+	case http.StatusTooManyRequests,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// getJSON runs the retry loop for one logical request.
+func (c *Client) getJSON(ctx context.Context, path string, v url.Values, out any) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = DefaultMaxRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	u := strings.TrimSuffix(c.Base, "/") + path + "?" + v.Encode()
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Do(req)
+		switch {
+		case err != nil:
+			// Network-level failure. The context's own end is final; an
+			// interrupted or refused connection is worth another try.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+		case resp.StatusCode == http.StatusOK:
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			return err
+		default:
+			apiErr := &APIError{Status: resp.StatusCode, Attempts: attempt + 1}
+			var envelope struct {
+				Error string `json:"error"`
+			}
+			if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope) == nil {
+				apiErr.Message = envelope.Error
+			}
+			if ra, raErr := strconv.Atoi(resp.Header.Get("Retry-After")); raErr == nil && ra >= 0 {
+				apiErr.RetryAfter = time.Duration(ra) * time.Second
+			}
+			resp.Body.Close()
+			if !retryableStatus(resp.StatusCode) {
+				return apiErr
+			}
+			lastErr = apiErr
+		}
+		if attempt >= retries {
+			return lastErr
+		}
+		if err := c.wait(ctx, c.backoff(attempt, lastErr)); err != nil {
+			return err
+		}
+	}
+}
+
+// backoff computes the pre-retry delay: the server's Retry-After hint
+// when the last failure carried one, else jittered exponential backoff.
+func (c *Client) backoff(attempt int, lastErr error) time.Duration {
+	if apiErr, ok := lastErr.(*APIError); ok && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = DefaultBaseBackoff
+	}
+	max := c.MaxBackoff
+	if max <= 0 {
+		max = DefaultMaxBackoff
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 { // d <= 0 guards shift overflow
+		d = max
+	}
+	// Full-jitter lower half: uniform in [d/2, d].
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+func (c *Client) wait(ctx context.Context, d time.Duration) error {
+	if c.sleep != nil {
+		return c.sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

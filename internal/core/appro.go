@@ -30,12 +30,14 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("owner_appro")
 	var stats Stats
+	e.trackStats(&stats)
 	seed, curCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
 		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
+	e.noteIncumbent(curSet, curCost, cost)
 	stats.SetsEvaluated = 1
 
 	var pool []cand
@@ -87,6 +89,7 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 			stats.SetsEvaluated++
 			if dof < curCost {
 				curSet, curCost = []dataset.ObjectID{o.ID}, combine(cost, dof, 0)
+				e.noteIncumbent(curSet, curCost, cost)
 			}
 			continue
 		}
@@ -143,6 +146,7 @@ func (e *Engine) ownerAppro(q Query, cost CostKind) (Result, error) {
 				osp.End()
 			}
 			curSet, curCost = canonical(set), c
+			e.noteIncumbent(curSet, curCost, cost)
 			it.Limit(curCost)
 		} else {
 			osp.Drop()

@@ -43,12 +43,14 @@ func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("cao_appro2")
 	var stats Stats
+	e.trackStats(&stats)
 	seed, curCost, _, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
 		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
+	e.noteIncumbent(curSet, curCost, cost)
 	stats.SetsEvaluated = 1
 
 	loop := e.tr.Begin("owner_loop")
@@ -73,6 +75,7 @@ func (e *Engine) caoAppro2(q Query, cost CostKind) (Result, error) {
 		stats.SetsEvaluated++
 		if c := e.EvalCost(cost, q.Loc, set); c < curCost {
 			curSet, curCost = canonical(set), c
+			e.noteIncumbent(curSet, curCost, cost)
 		}
 	}
 	stats.Phases.Search = time.Since(searchStart)
@@ -179,6 +182,7 @@ func (s *caoSearch) dfs(covered kwds.Mask, maxD, maxPair float64) {
 		} else if c < s.bestCost {
 			s.bestCost = c
 			s.bestSet = canonical(s.chosenIDs)
+			s.e.noteIncumbent(s.bestSet, c, s.cost)
 		}
 		return
 	}
@@ -247,6 +251,10 @@ func (e *Engine) caoExact(q Query, cost CostKind) (res Result, err error) {
 	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated, Prunes: seedRes.Stats.Prunes}
 	stats.Workers = 1
 	stats.Phases.Seed = time.Since(start)
+	// The Appro2 seed already noted itself (same per-call holder);
+	// re-register the outer stats so an unwind recovers this run's
+	// counters, which subsume the seed's.
+	e.trackStats(&stats)
 
 	// Materialize, per query keyword, the candidate objects containing it
 	// within C(q, curCost), ascending by distance. The lists recycle

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"coskq/internal/dataset"
+	"coskq/internal/fault"
 	"coskq/internal/geo"
 	"coskq/internal/invindex"
 	"coskq/internal/irtree"
@@ -221,7 +222,9 @@ func (e *Engine) pollCancel(counter int) {
 
 // recoverBudget converts a budgetExceeded panic into ErrBudgetExceeded and
 // a searchCanceled panic into its context error, re-panicking on anything
-// else. Use as:
+// else. Injected fault unwinds (internal/fault) translate the same way, so
+// an armed fault surfaces exactly like the real condition it simulates;
+// injected crashes (fault.Crash) deliberately re-panic. Use as:
 //
 //	defer recoverBudget(&err)
 func recoverBudget(err *error) {
@@ -231,6 +234,12 @@ func recoverBudget(err *error) {
 			*err = ErrBudgetExceeded
 		case searchCanceled:
 			*err = p.err
+		case fault.Unwind:
+			if p.Kind == fault.KindBudget {
+				*err = ErrBudgetExceeded
+			} else {
+				*err = context.Canceled
+			}
 		default:
 			panic(r)
 		}
@@ -245,6 +254,10 @@ type Stats struct {
 	NodesExpanded  int // search-tree nodes expanded (exact searches)
 	CandidatesSeen int // relevant objects materialized
 	Workers        int // parallel workers the execution used (≤1: serial)
+
+	// DegradeReason names why a degraded execution was cut short
+	// ("budget", "deadline", "cancelled"); empty for complete answers.
+	DegradeReason string
 
 	// Phases breaks Elapsed down across the coarse phases the algorithms
 	// share; a phase an algorithm does not have stays zero. Phases.Seed
@@ -290,7 +303,14 @@ type Result struct {
 	Set   []dataset.ObjectID // the feasible set, ascending object id
 	Cost  float64
 	Cost2 CostKind // the cost function the value refers to
-	Stats Stats
+	// Degraded marks an anytime answer: the search was cut short (node
+	// budget, deadline, cancellation) and Set is the best feasible
+	// incumbent — or an approximation fallback — rather than the
+	// method's full answer. Stats.DegradeReason names the cause. Only
+	// produced when Engine.Degrade permits it; cost is an upper bound on
+	// the method's full answer for the same query.
+	Degraded bool
+	Stats    Stats
 }
 
 // Engine owns the dataset and the indexes the algorithms run against.
@@ -320,6 +340,16 @@ type Engine struct {
 	// the full algorithm; disabling rules never changes answers, only
 	// search effort.
 	Ablation Ablation
+
+	// Degrade selects what Solve does when an exact search trips the
+	// node budget, a deadline, or a cancellation: fail with the typed
+	// error (DegradeFail, the default — the all-or-nothing contract),
+	// return the best feasible incumbent as an anytime answer
+	// (DegradeIncumbent), or additionally fall back to the cost's cheap
+	// approximation when no incumbent exists yet (DegradeFallbackAppro).
+	// See degrade.go and DESIGN.md §11. Set it before issuing queries
+	// (it is not synchronized).
+	Degrade DegradePolicy
 
 	// Metrics, when non-nil, receives one record per Solve/SolveCtx
 	// execution (including every item of a batch): cumulative query and
@@ -352,6 +382,13 @@ type Engine struct {
 	// keyword NN twice). Per-call state like ctx; not goroutine-safe, so
 	// worker copies null it out.
 	nnmemo *nnMemo
+
+	// any is the per-call anytime holder: the feasible incumbent and
+	// live Stats the degrade path falls back on when a search is cut
+	// short (degrade.go). Per-call state like ctx and nnmemo; not
+	// goroutine-safe, so worker copies null it out and the coordinator
+	// notes the merged shared incumbent after the join.
+	any *anytime
 }
 
 // parWorkers resolves Parallelism to the worker count a parallel search
@@ -423,6 +460,7 @@ func (e *Engine) solveCtx(ctx context.Context, q Query, cost CostKind, method Me
 		return Result{}, err
 	}
 	defer putNNMemo(run.nnmemo)
+	defer putAnytime(run.any)
 	return run.solve(q, cost, method)
 }
 
@@ -444,13 +482,26 @@ func (e *Engine) withCtx(ctx context.Context) (*Engine, error) {
 		clone.tr = trace.FromContext(ctx)
 	}
 	clone.nnmemo = getNNMemo()
+	clone.any = getAnytime()
 	return &clone, nil
 }
 
-// solve dispatches to the per-(cost, method) algorithm. The deferred
+// solve runs the dispatch and, when the search was cut short, applies
+// the engine's degrade policy: recover the aborted execution's Stats
+// and — policy permitting — turn the error into an anytime answer
+// (degrade.go).
+func (e *Engine) solve(q Query, cost CostKind, method Method) (Result, error) {
+	res, err := e.solveInner(q, cost, method)
+	if err == nil {
+		return res, nil
+	}
+	return e.degradeSolve(q, cost, method, res, err)
+}
+
+// solveInner dispatches to the per-(cost, method) algorithm. The deferred
 // recover catches cancellation unwinds from algorithms that have no
 // recover of their own (the approximation constructions).
-func (e *Engine) solve(q Query, cost CostKind, method Method) (res Result, err error) {
+func (e *Engine) solveInner(q Query, cost CostKind, method Method) (res Result, err error) {
 	defer recoverBudget(&err)
 	switch cost {
 	case MaxSum, Dia:

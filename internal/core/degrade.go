@@ -1,0 +1,228 @@
+package core
+
+// Graceful degradation (DESIGN.md §11): instead of discarding everything
+// when NodeBudget, a deadline or a cancellation unwinds a search, the
+// engine can return the best feasible incumbent it had at that moment —
+// an *anytime answer* — or fall back to a cheap approximation when no
+// incumbent exists yet. The distance owner-driven search holds a
+// feasible incumbent from the NN seed onward, so almost any interrupted
+// exact query has a meaningful answer to give.
+//
+// Mechanics: the per-call engine clone (withCtx) carries an anytime
+// holder. Algorithms publish every incumbent improvement into it
+// (noteIncumbent) and register their live Stats (trackStats); when the
+// budget/cancel panic unwinds through recoverBudget, solve consults the
+// holder — the improvements survive the unwind because the holder lives
+// on the per-call engine, not on the unwound stack frames. Parallel
+// searches note the merged shared incumbent after the worker join,
+// before re-raising the parked panic, so worker discoveries are never
+// lost to a degrade.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"coskq/internal/dataset"
+)
+
+// DegradePolicy selects what Solve does when an exact search is cut
+// short by the node budget, a deadline, or a cancellation.
+type DegradePolicy int
+
+const (
+	// DegradeFail (the default) preserves the all-or-nothing contract:
+	// the typed error (ErrBudgetExceeded, context error) is returned and
+	// Result carries no answer set.
+	DegradeFail DegradePolicy = iota
+	// DegradeIncumbent returns the best feasible incumbent found before
+	// the trip, with Result.Degraded set and Stats.DegradeReason naming
+	// the cause. When no incumbent exists yet (the trip happened before
+	// the NN seed completed) the error is returned as under DegradeFail.
+	DegradeIncumbent
+	// DegradeFallbackAppro is DegradeIncumbent plus a safety net: with no
+	// incumbent, the engine runs the cost function's cheap approximation
+	// (Cao-Appro2 for MaxSum/Dia, the greedy for Sum/SumMax, the ring
+	// approximation for MinMax) detached from the budget and context, so
+	// a feasible query always yields a feasible — if approximate —
+	// answer. The fallback is near-linear work, bounding how far past a
+	// deadline it can run.
+	DegradeFallbackAppro
+)
+
+// String implements fmt.Stringer.
+func (p DegradePolicy) String() string {
+	switch p {
+	case DegradeFail:
+		return "fail"
+	case DegradeIncumbent:
+		return "incumbent"
+	case DegradeFallbackAppro:
+		return "fallback"
+	}
+	return "unknown"
+}
+
+// ParseDegradePolicy maps the CLI/flag spelling to a policy.
+func ParseDegradePolicy(s string) (DegradePolicy, bool) {
+	switch s {
+	case "fail", "":
+		return DegradeFail, true
+	case "incumbent":
+		return DegradeIncumbent, true
+	case "fallback", "appro", "fallback-appro":
+		return DegradeFallbackAppro, true
+	}
+	return DegradeFail, false
+}
+
+// Degrade reasons reported in Stats.DegradeReason.
+const (
+	DegradeReasonBudget    = "budget"
+	DegradeReasonDeadline  = "deadline"
+	DegradeReasonCancelled = "cancelled"
+)
+
+// degradeReason classifies err as a cause the degrade policy may absorb;
+// "" means the error is not degradable (infeasible, unsupported — no
+// incumbent could exist or the answer would be wrong).
+func degradeReason(err error) string {
+	switch {
+	case errors.Is(err, ErrBudgetExceeded):
+		return DegradeReasonBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		return DegradeReasonDeadline
+	case errors.Is(err, context.Canceled):
+		return DegradeReasonCancelled
+	}
+	return ""
+}
+
+// anytime is the per-call incumbent holder. set reuses one backing
+// buffer across improvements (noteIncumbent copies into it), so noting
+// is allocation-free in steady state; consumers copy out via canonical
+// before the holder recirculates.
+type anytime struct {
+	valid bool
+	set   []dataset.ObjectID
+	cost  float64
+	kind  CostKind
+	// stats points at the running algorithm's live Stats so the unwind
+	// path can recover the effort counters accumulated before the trip
+	// (they escape the unwound frames through this pointer).
+	stats *Stats
+	// topk, when the execution is a TopK, points at the live heap so a
+	// degrade can return the partial ranking.
+	topk *topKHeap
+}
+
+var anytimePool = sync.Pool{New: func() any { return new(anytime) }}
+
+func getAnytime() *anytime {
+	h := anytimePool.Get().(*anytime)
+	h.valid, h.stats, h.topk = false, nil, nil
+	return h
+}
+
+func putAnytime(h *anytime) {
+	if h != nil {
+		anytimePool.Put(h)
+	}
+}
+
+// noteIncumbent publishes a feasible incumbent into the per-call
+// holder. set need not be canonical and may alias caller scratch; it is
+// copied. Only the coordinator goroutine may call this — worker engine
+// copies null the holder out (parallel.go) and publish through the
+// shared incumbent instead, which the coordinator notes after the join.
+func (e *Engine) noteIncumbent(set []dataset.ObjectID, cost float64, kind CostKind) {
+	h := e.any
+	if h == nil || len(set) == 0 {
+		return
+	}
+	h.valid = true
+	h.set = append(h.set[:0], set...)
+	h.cost, h.kind = cost, kind
+}
+
+// trackStats registers the running algorithm's Stats with the holder so
+// an unwind can recover the counters. Nested executions (Cao-Exact
+// seeding via Appro2) re-register in call order; the innermost running
+// algorithm wins, which is the one whose counters the unwind would
+// otherwise lose.
+func (e *Engine) trackStats(s *Stats) {
+	if h := e.any; h != nil {
+		h.stats = s
+	}
+}
+
+// trackTopK registers a TopK execution's live heap with the holder.
+func (e *Engine) trackTopK(t *topKHeap) {
+	if h := e.any; h != nil {
+		h.topk = t
+	}
+}
+
+// degradeSolve applies the engine's degrade policy to a failed solve.
+// It is called by solve after solveInner returned err; res carries
+// whatever the unwind produced (usually nothing). Satellite invariant:
+// whatever the policy, the aborted execution's Stats are recovered from
+// the holder so failed queries are fully accounted in slowlog/metrics.
+func (e *Engine) degradeSolve(q Query, cost CostKind, method Method, res Result, err error) (Result, error) {
+	reason := degradeReason(err)
+	if reason == "" {
+		return res, err
+	}
+	if h := e.any; h != nil && h.stats != nil {
+		res.Stats = *h.stats
+	}
+	if e.Degrade == DegradeFail {
+		return res, err
+	}
+	if h := e.any; h != nil && h.valid {
+		res.Set = canonical(h.set)
+		res.Cost = h.cost
+		res.Cost2 = h.kind
+		res.Degraded = true
+		res.Stats.DegradeReason = reason
+		return res, nil
+	}
+	if e.Degrade == DegradeFallbackAppro {
+		fb, fbErr := e.fallbackAppro(q, cost)
+		if fbErr == nil {
+			fb.Stats.merge(&res.Stats)
+			fb.Stats.Phases.Seed += res.Stats.Phases.Seed
+			fb.Stats.Phases.Search += res.Stats.Phases.Search
+			fb.Degraded = true
+			fb.Stats.DegradeReason = reason
+			return fb, nil
+		}
+	}
+	return res, err
+}
+
+// fallbackAppro runs the cost function's cheap approximation on a
+// detached engine copy: no node budget, no context (the original is
+// already tripped — the approximation is near-linear, so the overrun is
+// bounded), no parallel pool, no holder. The shield converts any stray
+// unwind (there should be none) into an error instead of escaping.
+func (e *Engine) fallbackAppro(q Query, cost CostKind) (res Result, err error) {
+	defer recoverBudget(&err)
+	fb := *e
+	fb.ctx = nil
+	fb.NodeBudget = 0
+	fb.shared = nil
+	fb.any = nil
+	fb.Parallelism = 1
+	switch cost {
+	case MaxSum, Dia:
+		return fb.caoAppro2(q, cost)
+	case Sum:
+		return fb.greedySum(q)
+	case MinMax:
+		return fb.minMaxAppro(q)
+	case SumMax:
+		return fb.sumMaxAppro(q)
+	}
+	return Result{}, ErrUnsupported
+}

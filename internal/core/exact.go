@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"coskq/internal/dataset"
+	"coskq/internal/fault"
 	"coskq/internal/kwds"
 	"coskq/internal/trace"
 )
@@ -50,12 +51,14 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 	algo := e.tr.Begin("owner_exact")
 	var stats Stats
 	stats.Workers = 1
+	e.trackStats(&stats)
 	seed, curCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
 		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
+	e.noteIncumbent(curSet, curCost, cost)
 	stats.SetsEvaluated = 1
 
 	// pool holds every relevant object popped so far, ascending by d(·,q);
@@ -75,6 +78,7 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 		it.Limit(curCost)
 	}
 	for {
+		fault.Hit(fault.OwnerEnum)
 		o, dof, ok := it.Next()
 		if !ok {
 			break
@@ -129,6 +133,7 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 		}
 		if improved {
 			curSet, curCost = canonical(set), c
+			e.noteIncumbent(curSet, curCost, cost)
 			if !e.Ablation.NoIncumbentBreak {
 				it.Limit(curCost)
 			}

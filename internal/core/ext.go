@@ -150,6 +150,8 @@ func (e *Engine) sumExact(q Query) (res Result, err error) {
 	curSet, curCost := seedRes.Set, seedRes.Cost
 	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated, Prunes: seedRes.Stats.Prunes}
 	stats.Phases.Seed = time.Since(start)
+	e.trackStats(&stats)
+	e.noteIncumbent(curSet, curCost, Sum)
 
 	matSp := e.tr.Begin("materialize")
 	matStart := time.Now()
@@ -204,6 +206,7 @@ func (e *Engine) sumExact(q Query) (res Result, err error) {
 			if sum < curCost {
 				curCost = sum
 				curSet = canonical(chosen)
+				e.noteIncumbent(curSet, curCost, Sum)
 			}
 			return
 		}
@@ -260,12 +263,14 @@ func (e *Engine) minMaxExact(q Query) (res Result, err error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("minmax_exact")
 	var stats Stats
+	e.trackStats(&stats)
 	seed, curCost, _, err := e.nnSeed(q, MinMax, &stats)
 	if err != nil {
 		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
+	e.noteIncumbent(curSet, curCost, MinMax)
 	stats.SetsEvaluated = 1
 
 	loop := e.tr.Begin("owner_loop")
@@ -310,6 +315,7 @@ func (e *Engine) minMaxExact(q Query) (res Result, err error) {
 		set, c := e.minMaxBestWithOwner(qi, o, do, ownerMask, pool, bitCands, curCost, &stats)
 		if set != nil && c < curCost {
 			curSet, curCost = canonical(set), c
+			e.noteIncumbent(curSet, curCost, MinMax)
 			it.Limit(curCost)
 		}
 	}
@@ -407,12 +413,14 @@ func (e *Engine) minMaxAppro(q Query) (Result, error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("minmax_appro")
 	var stats Stats
+	e.trackStats(&stats)
 	seed, curCost, _, err := e.nnSeed(q, MinMax, &stats)
 	if err != nil {
 		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
+	e.noteIncumbent(curSet, curCost, MinMax)
 	stats.SetsEvaluated = 1
 
 	loop := e.tr.Begin("owner_loop")
@@ -448,6 +456,7 @@ func (e *Engine) minMaxAppro(q Query) (Result, error) {
 		stats.SetsEvaluated++
 		if c := e.EvalCost(MinMax, q.Loc, set); c < curCost {
 			curSet, curCost = canonical(set), c
+			e.noteIncumbent(curSet, curCost, MinMax)
 		}
 	}
 	stats.Phases.Search = time.Since(searchStart)

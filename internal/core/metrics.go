@@ -36,6 +36,7 @@ type EngineMetrics struct {
 
 	queries  *metrics.Counter
 	errs     *metrics.Counter
+	degraded *metrics.Counter
 	parallel *metrics.Counter
 	workers  *metrics.Gauge
 	latency  *metrics.Histogram
@@ -56,6 +57,7 @@ func NewEngineMetrics(reg *metrics.Registry) *EngineMetrics {
 		reg:      reg,
 		queries:  reg.Counter("coskq_queries_total"),
 		errs:     reg.Counter("coskq_query_errors_total"),
+		degraded: reg.Counter("coskq_degraded_queries_total"),
 		parallel: reg.Counter("coskq_parallel_queries_total"),
 		workers:  reg.Gauge("coskq_query_workers"),
 		latency:  reg.Histogram("coskq_query_seconds", latencyBuckets),
@@ -77,6 +79,10 @@ func (m *EngineMetrics) WriteText(w io.Writer) error { return m.reg.WriteText(w)
 // QueriesTotal returns the cumulative number of recorded executions.
 func (m *EngineMetrics) QueriesTotal() uint64 { return m.queries.Value() }
 
+// DegradedTotal returns the cumulative number of degraded (anytime)
+// answers recorded.
+func (m *EngineMetrics) DegradedTotal() uint64 { return m.degraded.Value() }
+
 // errorReason maps an execution error to a bounded label vocabulary.
 func errorReason(err error) string {
 	switch {
@@ -95,24 +101,30 @@ func errorReason(err error) string {
 	}
 }
 
-// recordSolve accumulates one execution. Effort histograms are only fed
-// by successful executions (a failed one reports no meaningful effort);
-// latency and the per-cost/per-method counter count every execution.
+// recordSolve accumulates one execution. Latency, the per-cost/per-method
+// counter and the effort histograms count every execution — failed and
+// degraded queries report their (recovered) effort too, so overload shows
+// up in the effort distributions instead of vanishing from them. Degraded
+// answers additionally feed coskq_degraded_queries_total, by reason.
 func (m *EngineMetrics) recordSolve(cost CostKind, method Method, res Result, err error, elapsed time.Duration) {
 	m.queries.Inc()
 	m.reg.Counter(fmt.Sprintf("coskq_queries_total{cost=%q,method=%q}", cost.String(), method.String())).Inc()
 	m.latency.Observe(elapsed.Seconds())
+	m.owners.Observe(float64(res.Stats.OwnersTried))
+	m.nodes.Observe(float64(res.Stats.NodesExpanded))
+	m.cands.Observe(float64(res.Stats.CandidatesSeen))
+	m.sets.Observe(float64(res.Stats.SetsEvaluated))
 	if err != nil {
 		m.errs.Inc()
 		m.reg.Counter(fmt.Sprintf("coskq_query_errors_total{reason=%q}", errorReason(err))).Inc()
 		return
 	}
+	if res.Degraded {
+		m.degraded.Inc()
+		m.reg.Counter(fmt.Sprintf("coskq_degraded_queries_total{reason=%q}", res.Stats.DegradeReason)).Inc()
+	}
 	if w := res.Stats.Workers; w > 1 {
 		m.parallel.Inc()
 		m.workers.Set(float64(w))
 	}
-	m.owners.Observe(float64(res.Stats.OwnersTried))
-	m.nodes.Observe(float64(res.Stats.NodesExpanded))
-	m.cands.Observe(float64(res.Stats.CandidatesSeen))
-	m.sets.Observe(float64(res.Stats.SetsEvaluated))
 }

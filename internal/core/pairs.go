@@ -30,12 +30,14 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("pairs_exact")
 	var stats Stats
+	e.trackStats(&stats)
 	seed, curCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
 		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
+	e.noteIncumbent(curSet, curCost, cost)
 	stats.SetsEvaluated = 1
 	stats.Phases.Seed = time.Since(start)
 
@@ -133,6 +135,7 @@ func (e *Engine) pairsExact(q Query, cost CostKind) (res Result, err error) {
 			set, c := e.bestFeasibleForTriple(q, qi, cost, cands, p.i, p.j, m, p.dij, curCost, scratch, &stats)
 			if set != nil && c < curCost {
 				curSet, curCost = canonical(set), c
+				e.noteIncumbent(curSet, curCost, cost)
 			}
 		}
 	}

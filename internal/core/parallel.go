@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"coskq/internal/dataset"
+	"coskq/internal/fault"
 	"coskq/internal/kwds"
 	"coskq/internal/trace"
 )
@@ -134,6 +135,7 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 	algo := e.tr.Begin("owner_exact")
 	var stats Stats
 	stats.Workers = workers
+	e.trackStats(&stats)
 	seed, seedCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
 		algo.End()
@@ -145,6 +147,7 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 	}
 
 	sh := newParShared(canonical(seed), seedCost)
+	e.noteIncumbent(sh.set, sh.cost, cost)
 	loop := e.tr.Begin("owner_loop")
 	grp := e.tr.BeginGroup("owner_workers")
 	searchStart := time.Now()
@@ -156,6 +159,7 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 		wc := *e
 		wc.shared = sh
 		wc.nnmemo = nil // not goroutine-safe; the sub-searches never seed
+		wc.any = nil    // ditto; workers publish through sh, noted at the join
 		wg.Add(1)
 		go func(wc *Engine, ws *Stats) {
 			defer wg.Done()
@@ -178,6 +182,7 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 		it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
 		ord := 0
 		for !sh.failed.Load() {
+			fault.Hit(fault.OwnerEnum)
 			if !e.Ablation.NoIncumbentBreak {
 				it.Limit(sh.costLoad())
 			}
@@ -236,6 +241,10 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 	}
 	loop.End()
 	algo.End()
+	// Workers have joined, so sh holds the merged incumbent across every
+	// worker's discoveries; note it before re-raising a parked panic so a
+	// degrade (DESIGN.md §11) can return the best answer any worker found.
+	e.noteIncumbent(sh.set, sh.cost, cost)
 	if p := sh.firstPanic(); p != nil {
 		panic(p) // recoverBudget (deferred above) converts it into err
 	}
@@ -266,6 +275,7 @@ func (e *Engine) runOwnerTask(qi *kwds.QueryIndex, cost CostKind, t ownerTask, g
 			sh.fail(r)
 		}
 	}()
+	fault.Hit(fault.PoolWorker)
 	sp := grp.Begin("best_with_owner")
 	nodes0 := stats.NodesExpanded
 	// One ulp above the incumbent: an equal-cost set from an
@@ -305,6 +315,7 @@ func (e *Engine) caoSearchPar(qi *kwds.QueryIndex, cost CostKind, cands [][]kwCa
 		wc := *e
 		wc.shared = sh
 		wc.nnmemo = nil
+		wc.any = nil
 		wg.Add(1)
 		go func(wc *Engine, ws *Stats) {
 			defer wg.Done()
@@ -323,6 +334,10 @@ func (e *Engine) caoSearchPar(qi *kwds.QueryIndex, cost CostKind, cands [][]kwCa
 	for w := range workerStats {
 		stats.merge(&workerStats[w])
 	}
+	// Merged incumbent across workers, noted before the parked panic
+	// re-raises so a degrade keeps the best answer found (see
+	// ownerExactPar).
+	e.noteIncumbent(sh.set, sh.cost, cost)
 	if p := sh.firstPanic(); p != nil {
 		panic(p) // caoExact's recoverBudget converts it
 	}
@@ -352,6 +367,7 @@ func (e *Engine) runCaoTask(s *caoSearch, scratch *caoScratch, j, branch int, gr
 			sh.fail(r)
 		}
 	}()
+	fault.Hit(fault.PoolWorker)
 	kc := s.cands[branch][j]
 	bound := math.Nextafter(sh.costLoad(), math.Inf(1))
 	if kc.d >= bound {

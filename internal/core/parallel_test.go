@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"coskq/internal/dataset"
+	"coskq/internal/testutil"
 )
 
 func equalIDs(a, b []dataset.ObjectID) bool {
@@ -26,6 +27,7 @@ func equalIDs(a, b []dataset.ObjectID) bool {
 // identical canonical set as the serial search. Run under -race this also
 // exercises the snapshot-sharing discipline of the owner/candidate pools.
 func TestParallelMatchesSerial(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	for _, seed := range []int64{3, 17, 99} {
 		rng := rand.New(rand.NewSource(seed))
 		e := genEngine(rng, 900, 25, 4)
@@ -74,6 +76,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 // equal the shared global counter the budget trips on — no expansion may
 // be double- or under-counted when stats merge after the join.
 func TestParallelNodeAccounting(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rng := rand.New(rand.NewSource(11))
 	e := genEngine(rng, 700, 20, 4)
 	e.Parallelism = 4
@@ -93,6 +96,7 @@ func TestParallelNodeAccounting(t *testing.T) {
 // are running must surface as ErrBudgetExceeded from the coordinator —
 // the worker panic is parked, the pool drains, and the join re-raises it.
 func TestParallelBudgetTrip(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	rng := rand.New(rand.NewSource(5))
 	e := genEngine(rng, 900, 20, 4)
 	q := randQuery(rng, 20, 4)

@@ -38,6 +38,8 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 	curSet, curCost := seedRes.Set, seedRes.Cost
 	stats := Stats{SetsEvaluated: seedRes.Stats.SetsEvaluated, Prunes: seedRes.Stats.Prunes}
 	stats.Phases.Seed = time.Since(start)
+	e.trackStats(&stats)
+	e.noteIncumbent(curSet, curCost, SumMax)
 
 	// Each member contributes its own distance to the sum, so members of
 	// any improving set lie inside C(q, curCost).
@@ -91,6 +93,7 @@ func (e *Engine) sumMaxExact(q Query) (res Result, err error) {
 					set[i] = cands[ci].o.ID
 				}
 				curSet = canonical(set)
+				e.noteIncumbent(curSet, curCost, SumMax)
 			}
 			return
 		}
@@ -148,12 +151,14 @@ func (e *Engine) sumMaxAppro(q Query) (Result, error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("summax_appro")
 	var stats Stats
+	e.trackStats(&stats)
 	seed, curCost, df, err := e.nnSeed(q, SumMax, &stats)
 	if err != nil {
 		algo.End()
 		return Result{}, err
 	}
 	curSet := canonical(seed)
+	e.noteIncumbent(curSet, curCost, SumMax)
 	stats.SetsEvaluated = 1
 
 	var pool []cand
@@ -219,6 +224,7 @@ func (e *Engine) sumMaxAppro(q Query) (Result, error) {
 		stats.SetsEvaluated++
 		if c := e.EvalCost(SumMax, q.Loc, set); c < curCost {
 			curSet, curCost = canonical(set), c
+			e.noteIncumbent(curSet, curCost, SumMax)
 			it.Limit(curCost)
 		}
 	}

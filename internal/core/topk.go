@@ -87,10 +87,53 @@ func (e *Engine) TopKCtx(ctx context.Context, q Query, cost CostKind, k int) ([]
 		return nil, err
 	}
 	defer putNNMemo(run.nnmemo)
+	defer putAnytime(run.any)
 	return run.topK(q, cost, k)
 }
 
-func (e *Engine) topK(q Query, cost CostKind, k int) (res []Result, err error) {
+// topK runs the enumeration and, when it is cut short, applies the
+// engine's degrade policy: the partial ranking accumulated in the heap
+// is itself the anytime answer (each entry marked Degraded), and with
+// DegradeFallbackAppro an empty heap falls back to one approximate set.
+func (e *Engine) topK(q Query, cost CostKind, k int) ([]Result, error) {
+	start := time.Now()
+	res, err := e.topKInner(q, cost, k)
+	if err == nil {
+		return res, nil
+	}
+	reason := degradeReason(err)
+	if reason == "" || e.Degrade == DegradeFail {
+		return res, err
+	}
+	var stats Stats
+	if h := e.any; h != nil && h.stats != nil {
+		stats = *h.stats
+	}
+	stats.Elapsed = time.Since(start)
+	stats.DegradeReason = reason
+	if h := e.any; h != nil && h.topk != nil && len(h.topk.sets) > 0 {
+		out := make([]Result, len(h.topk.sets))
+		for i, r := range h.topk.sets {
+			r.Degraded = true
+			r.Stats = stats
+			out[i] = r
+		}
+		return out, nil
+	}
+	if e.Degrade == DegradeFallbackAppro {
+		fb, fbErr := e.fallbackAppro(q, cost)
+		if fbErr == nil {
+			fb.Degraded = true
+			fb.Stats.merge(&stats)
+			fb.Stats.DegradeReason = reason
+			fb.Stats.Elapsed = time.Since(start)
+			return []Result{fb}, nil
+		}
+	}
+	return nil, err
+}
+
+func (e *Engine) topKInner(q Query, cost CostKind, k int) (res []Result, err error) {
 	defer recoverBudget(&err)
 	if cost != MaxSum && cost != Dia {
 		return nil, fmt.Errorf("%w: TopK supports MaxSum and Dia, got %v", ErrUnsupported, cost)
@@ -102,6 +145,7 @@ func (e *Engine) topK(q Query, cost CostKind, k int) (res []Result, err error) {
 	qi := kwds.NewQueryIndex(q.Keywords)
 	algo := e.tr.Begin("topk")
 	var stats Stats
+	e.trackStats(&stats)
 	seed, seedCost, df, err := e.nnSeed(q, cost, &stats)
 	if err != nil {
 		algo.End()
@@ -111,6 +155,7 @@ func (e *Engine) topK(q Query, cost CostKind, k int) (res []Result, err error) {
 
 	_ = seedCost // the irredundant form may be cheaper; recompute below
 	top := newTopKHeap(k)
+	e.trackTopK(top)
 	verifySp := e.tr.Begin("verify")
 	seedSet := irredundant(e, qi, canonical(seed))
 	top.offer(seedSet, e.EvalCost(cost, q.Loc, seedSet), cost)

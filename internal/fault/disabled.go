@@ -1,0 +1,8 @@
+//go:build coskq_nofault
+
+package fault
+
+// Compiled is false under -tags coskq_nofault: Hit's body is guarded by
+// this constant, so the compiler eliminates the schedule load and every
+// injection point becomes an empty function call, inlined away.
+const Compiled = false

@@ -1,0 +1,7 @@
+//go:build !coskq_nofault
+
+package fault
+
+// Compiled reports whether fault injection is compiled into this build.
+// The default; see disabled.go for the -tags coskq_nofault no-op build.
+const Compiled = true

@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"coskq/internal/dataset"
+	"coskq/internal/fault"
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
 	"coskq/internal/pqueue"
@@ -295,6 +296,7 @@ func (it *RelevantNNIterator) Limit(d float64) {
 // point, or ok=false when exhausted (or when everything left lies beyond
 // the limit).
 func (it *RelevantNNIterator) Next() (*dataset.Object, float64, bool) {
+	fault.Hit(fault.RTreeVisit)
 	for !it.h.Empty() {
 		item, pri := it.h.Pop()
 		if pri >= it.limit {
@@ -412,6 +414,7 @@ func (t *Tree) NewKeywordNNIterator(p geo.Point, kw kwds.ID) *KeywordNNIterator 
 // Next returns the next object containing the keyword and its distance
 // from the iterator's point, or ok=false when exhausted.
 func (it *KeywordNNIterator) Next() (*dataset.Object, float64, bool) {
+	fault.Hit(fault.RTreeVisit)
 	for !it.h.Empty() {
 		item, pri := it.h.Pop()
 		if item.node == nil {

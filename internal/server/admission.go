@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"coskq/internal/metrics"
+)
+
+// admission is the overload gate in front of the query-serving routes
+// (/query and /topk — the cheap probe and introspection endpoints are
+// never gated). It bounds the number of concurrently solving requests
+// with a semaphore, parks a bounded number of excess requests in a wait
+// queue, and sheds everything beyond that with 429 + Retry-After so
+// overload degrades into fast, explicit refusals instead of a pile-up
+// of slow timeouts.
+//
+// Shedding is deterministic for a given arrival pattern: with
+// MaxInFlight=m and MaxQueue=k, request m+k+1 of a simultaneous burst is
+// refused immediately — there is no probabilistic early drop.
+type admission struct {
+	sem          chan struct{} // capacity = max in-flight
+	queued       atomic.Int64  // current waiters (bounded by maxQueue)
+	maxQueue     int64
+	queueTimeout time.Duration
+	retryAfter   time.Duration
+
+	reg         *metrics.Registry
+	inflight    *metrics.Gauge
+	queuedGauge *metrics.Gauge
+	shed        *metrics.Counter
+}
+
+// Shed reasons, used as the {reason=...} label on
+// coskq_shed_requests_total.
+const (
+	shedQueueFull    = "queue_full"    // in-flight and queue both at capacity
+	shedQueueTimeout = "queue_timeout" // waited QueueTimeout without a slot
+	shedClientGone   = "client_gone"   // caller disconnected while queued
+)
+
+func newAdmission(reg *metrics.Registry, maxInFlight, maxQueue int, queueTimeout, retryAfter time.Duration) *admission {
+	if retryAfter <= 0 {
+		retryAfter = time.Second
+	}
+	return &admission{
+		sem:          make(chan struct{}, maxInFlight),
+		maxQueue:     int64(maxQueue),
+		queueTimeout: queueTimeout,
+		retryAfter:   retryAfter,
+		reg:          reg,
+		inflight:     reg.Gauge("coskq_inflight"),
+		queuedGauge:  reg.Gauge("coskq_admission_queued"),
+		shed:         reg.Counter("coskq_shed_requests_total"),
+	}
+}
+
+// middleware gates next behind the admission controller. A nil receiver
+// (admission disabled) passes through untouched.
+func (a *admission) middleware(next http.Handler) http.Handler {
+	if a == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, reason := a.admit(r.Context())
+		if reason != "" {
+			a.shedResponse(w, reason)
+			return
+		}
+		defer release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// admit blocks until the request holds an execution slot ("" reason,
+// call release when done) or must be shed (non-empty reason). The wait
+// is bounded by the queue capacity, the queue timeout, and the request
+// context (which carries the server timeout when one is configured).
+func (a *admission) admit(ctx context.Context) (release func(), shedReason string) {
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return a.release, ""
+	default:
+	}
+	// MaxQueue == 0 disables queueing entirely: saturated means shed.
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return nil, shedQueueFull
+	}
+	a.queuedGauge.Add(1)
+	defer func() {
+		a.queued.Add(-1)
+		a.queuedGauge.Add(-1)
+	}()
+
+	var timeout <-chan time.Time
+	if a.queueTimeout > 0 {
+		t := time.NewTimer(a.queueTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return a.release, ""
+	case <-timeout:
+		return nil, shedQueueTimeout
+	case <-ctx.Done():
+		return nil, shedClientGone
+	}
+}
+
+func (a *admission) release() {
+	a.inflight.Add(-1)
+	<-a.sem
+}
+
+// shedResponse refuses the request: 429 with a Retry-After hint for
+// capacity sheds, 503 when the caller already disconnected. Both carry
+// the uniform JSON error envelope.
+func (a *admission) shedResponse(w http.ResponseWriter, reason string) {
+	a.shed.Inc()
+	a.reg.Counter(fmt.Sprintf("coskq_shed_requests_total{reason=%q}", reason)).Inc()
+	if reason == shedClientGone {
+		jsonError(w, http.StatusServiceUnavailable, "client disconnected while queued for admission")
+		return
+	}
+	secs := int(math.Ceil(a.retryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	jsonError(w, http.StatusTooManyRequests, "server overloaded (%s): retry after %ds", reason, secs)
+}

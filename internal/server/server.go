@@ -2,8 +2,11 @@
 // a thin, stateless handler over one prebuilt Engine. Queries are
 // read-only, so the handler serves concurrent requests safely.
 //
-// The handler stack (outermost first) is panic recovery → request
-// logging + HTTP metrics → per-request timeout → route mux, serving:
+// The handler stack (outermost first) is request id → panic recovery →
+// request logging + HTTP metrics → per-request timeout → route mux,
+// with the query-serving routes additionally behind the admission
+// controller (bounded in-flight + bounded queue, overload shed with
+// 429), serving:
 //
 //	GET /stats          dataset statistics
 //	GET /query          one CoSKQ answer (?explain=1 inlines the trace)
@@ -32,6 +35,7 @@ import (
 	"coskq/internal/core"
 	"coskq/internal/datagen"
 	"coskq/internal/dataset"
+	"coskq/internal/fault"
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
 	"coskq/internal/metrics"
@@ -66,6 +70,35 @@ type Options struct {
 	// GET /debug/slowlog. Zero means DefaultSlowLogSize; negative
 	// disables the log (and the per-query tracing feeding it).
 	SlowLog int
+	// MaxInFlight bounds the number of concurrently solving /query and
+	// /topk requests; excess requests wait in a bounded queue and beyond
+	// that are shed with 429 + Retry-After. Zero disables admission
+	// control. Probe and introspection routes are never gated.
+	MaxInFlight int
+	// MaxQueue is the number of requests allowed to wait for an
+	// execution slot when MaxInFlight is saturated. Zero means no queue:
+	// a saturated server sheds immediately.
+	MaxQueue int
+	// QueueTimeout bounds how long a queued request waits for a slot
+	// before being shed. Zero means the wait is bounded only by the
+	// request's own deadline.
+	QueueTimeout time.Duration
+	// RetryAfter is the hint sent in the Retry-After header of shed
+	// (429) responses. Zero means one second.
+	RetryAfter time.Duration
+	// Degrade is the anytime-answer policy applied to request solves
+	// (see core.DegradePolicy). With DegradeIncumbent or
+	// DegradeFallbackAppro, a budget- or deadline-tripped search returns
+	// its best-so-far feasible set — marked by the X-Coskq-Degraded
+	// header and the response's degraded fields — instead of an error.
+	Degrade core.DegradePolicy
+	// NodeBudgetPerSecond derives a per-request node budget from the
+	// request deadline: budget = rate × seconds remaining at solve
+	// start. It converts the wall-clock deadline into a deterministic
+	// effort bound that trips before the deadline does, so Degrade can
+	// return an anytime answer instead of the timeout's 504. Zero
+	// disables derivation (any engine-level NodeBudget still applies).
+	NodeBudgetPerSecond float64
 }
 
 // New returns the handler stack over eng with default options.
@@ -90,6 +123,11 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 		reg:         reg,
 		log:         opts.Logger,
 		httpLatency: reg.Histogram("coskq_http_request_seconds", httpLatencyBuckets),
+		degrade:     opts.Degrade,
+		budgetRate:  opts.NodeBudgetPerSecond,
+	}
+	if opts.MaxInFlight > 0 {
+		s.adm = newAdmission(reg, opts.MaxInFlight, opts.MaxQueue, opts.QueueTimeout, opts.RetryAfter)
 	}
 	if opts.SlowLog >= 0 {
 		size := opts.SlowLog
@@ -108,8 +146,8 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.HandleFunc("GET /query", s.handleQuery)
-	mux.HandleFunc("GET /topk", s.handleTopK)
+	mux.Handle("GET /query", s.adm.middleware(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("GET /topk", s.adm.middleware(http.HandlerFunc(s.handleTopK)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
@@ -133,8 +171,35 @@ type server struct {
 	log         *slog.Logger
 	slow        *trace.SlowLog
 	httpLatency *metrics.Histogram
+	adm         *admission
+	degrade     core.DegradePolicy
+	budgetRate  float64
 	idToken     string
 	idCounter   atomic.Uint64
+}
+
+// requestEngine returns the engine one request solves on: the shared
+// engine when no per-request knobs apply, else a shallow clone carrying
+// the server's degrade policy and — when the request has a deadline and
+// a budget rate is configured — a node budget proportional to the time
+// remaining. The clone shares every index and the metrics sink; only
+// the scalar knobs differ.
+func (s *server) requestEngine(ctx context.Context) *core.Engine {
+	if s.degrade == core.DegradeFail && s.budgetRate <= 0 {
+		return s.eng
+	}
+	run := *s.eng
+	run.Degrade = s.degrade
+	if s.budgetRate > 0 {
+		if dl, ok := ctx.Deadline(); ok {
+			b := int(time.Until(dl).Seconds() * s.budgetRate)
+			if b < 1 {
+				b = 1
+			}
+			run.NodeBudget = b
+		}
+	}
+	return &run
 }
 
 // requestIDKey keys the request id in the request context.
@@ -271,6 +336,15 @@ func timeoutMiddleware(d time.Duration, next http.Handler) http.Handler {
 		case <-done:
 			buf.copyTo(w)
 		case <-ctx.Done():
+			// Deadline expiry and client disconnect both land here, but
+			// they are different failures: the deadline is the server's
+			// 504, a dropped connection is a 503 (written mostly for the
+			// access log — the client is gone). Both use the JSON error
+			// envelope so every middleware failure parses uniformly.
+			if errors.Is(ctx.Err(), context.Canceled) {
+				jsonError(w, http.StatusServiceUnavailable, "client disconnected before the response was ready")
+				return
+			}
 			jsonError(w, http.StatusGatewayTimeout, "request exceeded the %v server timeout", d)
 		}
 	})
@@ -395,7 +469,36 @@ type queryResponse struct {
 	Method    string        `json:"method"`
 	ElapsedMs float64       `json:"elapsedMs"`
 	Objects   []objectJSON  `json:"objects"`
+	Degraded  bool          `json:"degraded,omitempty"`
+	Reason    string        `json:"degradeReason,omitempty"`
 	Trace     *trace.Export `json:"trace,omitempty"`
+}
+
+// serveFault passes through the server.handle injection point,
+// converting an injected Unwind into the matching typed engine error so
+// an armed chaos schedule exercises the real error path. An injected
+// Crash propagates to recoverMiddleware like any programming error.
+func serveFault() error {
+	var err error
+	func() {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			u, ok := p.(fault.Unwind)
+			if !ok {
+				panic(p)
+			}
+			if u.Kind == fault.KindBudget {
+				err = core.ErrBudgetExceeded
+			} else {
+				err = context.Canceled
+			}
+		}()
+		fault.Hit(fault.ServerHandle)
+	}()
+	return err
 }
 
 // beginTrace decides whether this request is traced — explicitly via
@@ -569,13 +672,20 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		jsonError(w, http.StatusBadRequest, "unknown method %q", r.URL.Query().Get("method"))
 		return
 	}
+	if err := serveFault(); err != nil {
+		writeSolveError(w, err)
+		return
+	}
 	ctx, tr, explain := s.beginTrace(r, "query")
 	start := time.Now()
-	res, err := s.eng.SolveCtx(ctx, q, cost, method)
+	res, err := s.requestEngine(ctx).SolveCtx(ctx, q, cost, method)
 	x := s.finishTrace(r, tr, time.Since(start), err)
 	if err != nil {
 		writeSolveError(w, err)
 		return
+	}
+	if res.Degraded {
+		w.Header().Set("X-Coskq-Degraded", res.Stats.DegradeReason)
 	}
 	resp := queryResponse{
 		Cost:      res.Cost,
@@ -583,6 +693,8 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Method:    method.String(),
 		ElapsedMs: float64(res.Stats.Elapsed.Microseconds()) / 1000,
 		Objects:   s.objectsJSON(q, res.Set),
+		Degraded:  res.Degraded,
+		Reason:    res.Stats.DegradeReason,
 	}
 	if explain {
 		resp.Trace = x
@@ -613,13 +725,20 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if err := serveFault(); err != nil {
+		writeSolveError(w, err)
+		return
+	}
 	ctx, tr, explain := s.beginTrace(r, "topk")
 	start := time.Now()
-	results, err := s.eng.TopKCtx(ctx, q, cost, n)
+	results, err := s.requestEngine(ctx).TopKCtx(ctx, q, cost, n)
 	x := s.finishTrace(r, tr, time.Since(start), err)
 	if err != nil {
 		writeSolveError(w, err)
 		return
+	}
+	if len(results) > 0 && results[0].Degraded {
+		w.Header().Set("X-Coskq-Degraded", results[0].Stats.DegradeReason)
 	}
 	resp := topKResponse{Results: make([]queryResponse, len(results))}
 	for i, res := range results {
@@ -627,6 +746,8 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			Cost:     res.Cost,
 			CostKind: cost.String(),
 			Objects:  s.objectsJSON(q, res.Set),
+			Degraded: res.Degraded,
+			Reason:   res.Stats.DegradeReason,
 		}
 	}
 	if explain {

@@ -12,14 +12,19 @@ import (
 	"coskq/internal/kwds"
 )
 
-func testServer(t *testing.T) (*httptest.Server, *core.Engine) {
-	t.Helper()
+// cityEngine builds the small fixture engine shared by the server tests.
+func cityEngine() *core.Engine {
 	b := dataset.NewBuilder("city")
 	b.Add(geo.Point{X: 1, Y: 0}, "cafe")
 	b.Add(geo.Point{X: 0, Y: 2}, "museum")
 	b.Add(geo.Point{X: 2, Y: 2}, "cafe", "museum")
 	b.Add(geo.Point{X: 50, Y: 50}, "park")
-	eng := core.NewEngine(b.Build(), 0)
+	return core.NewEngine(b.Build(), 0)
+}
+
+func testServer(t *testing.T) (*httptest.Server, *core.Engine) {
+	t.Helper()
+	eng := cityEngine()
 	srv := httptest.NewServer(New(eng))
 	t.Cleanup(srv.Close)
 	return srv, eng
