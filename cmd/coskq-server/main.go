@@ -11,6 +11,16 @@
 //	             [-degrade incumbent] [-max-inflight 64 -max-queue 128 -queue-timeout 2s]
 //	             [-budget-per-second 2e6] [-pprof]
 //
+// Scatter-gather modes (see DESIGN.md §12):
+//
+//	coskq-server -data hotel.gob -shards 4 [-partition grid|subtree]
+//	    partitions the dataset into in-process shards and answers /query
+//	    by scatter-gather across per-shard engines.
+//	coskq-server -peers http://h1:8080,http://h2:8080 [-shard-timeout 5s]
+//	    serves as a coordinator fanning /query out to peer shard servers
+//	    (every coskq-server exposes the /shard/* data plane); -data is
+//	    not needed.
+//
 // Endpoints:
 //
 //	GET /stats
@@ -40,9 +50,11 @@ import (
 	"time"
 
 	"coskq"
+	"coskq/internal/client"
 	"coskq/internal/core"
 	"coskq/internal/metrics"
 	"coskq/internal/server"
+	"coskq/internal/shard"
 )
 
 func main() {
@@ -59,6 +71,10 @@ func main() {
 		maxQueue  = flag.Int("max-queue", 0, "admission wait-queue depth beyond -max-inflight (0 = shed immediately when saturated)")
 		queueWait = flag.Duration("queue-timeout", 0, "max time a request waits in the admission queue before a 429 (0 = bounded only by -timeout)")
 		budgetPS  = flag.Float64("budget-per-second", 0, "derive each request's node budget as rate x seconds left to its deadline (0 = disabled)")
+		shards    = flag.Int("shards", 1, "partition -data into N in-process shards and answer /query by scatter-gather (1 = single engine)")
+		partition = flag.String("partition", "grid", "shard partitioning strategy: grid or subtree")
+		peers     = flag.String("peers", "", "comma-separated peer shard server URLs; serve as a scatter-gather coordinator (no -data needed)")
+		shardTO   = flag.Duration("shard-timeout", 0, "per-shard call deadline in scatter-gather modes (0 = bounded by -timeout)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -67,35 +83,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "coskq-server: unknown -degrade policy %q (use fail, incumbent, or fallback)\n", *degrade)
 		os.Exit(2)
 	}
-	if *data == "" {
-		fmt.Fprintln(os.Stderr, "coskq-server: -data is required")
+	if *data == "" && *peers == "" {
+		fmt.Fprintln(os.Stderr, "coskq-server: -data is required (or -peers for coordinator mode)")
 		flag.Usage()
 		os.Exit(2)
 	}
-
-	var (
-		ds  *coskq.Dataset
-		err error
-	)
-	if strings.HasSuffix(*data, ".csv") {
-		ds, err = coskq.LoadCSVDataset(*data)
-	} else {
-		ds, err = coskq.LoadDataset(*data)
-	}
-	if err != nil {
-		logger.Error("loading dataset", "path", *data, "err", err)
-		os.Exit(1)
-	}
-	logger.Info("dataset loaded", "name", ds.Name, "stats", ds.Stats().String())
-
-	eng := coskq.NewEngine(ds, 0)
-	eng.NodeBudget = *budget
-	eng.Parallelism = *workers
 	reg := metrics.NewRegistry()
-	eng.Metrics = core.NewEngineMetrics(reg)
-
-	mux := http.NewServeMux()
-	mux.Handle("/", server.NewWith(eng, server.Options{
+	opts := server.Options{
 		Timeout:             *timeout,
 		Logger:              logger,
 		Registry:            reg,
@@ -105,7 +99,59 @@ func main() {
 		QueueTimeout:        *queueWait,
 		Degrade:             policy,
 		NodeBudgetPerSecond: *budgetPS,
-	}))
+	}
+
+	var handler http.Handler
+	switch {
+	case *peers != "":
+		var backends []shard.Backend
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				backends = append(backends, shard.NewHTTPBackend(&client.Client{Base: p}))
+			}
+		}
+		if len(backends) == 0 {
+			fmt.Fprintln(os.Stderr, "coskq-server: -peers lists no usable URLs")
+			os.Exit(2)
+		}
+		rt := &shard.Router{
+			Backends:     backends,
+			Workers:      *workers,
+			NodeBudget:   *budget,
+			ShardTimeout: *shardTO,
+		}
+		handler = server.NewScatterGather(rt, opts)
+		logger.Info("scatter-gather coordinator", "peers", len(backends), "shard_timeout", *shardTO)
+
+	case *shards > 1:
+		ds := loadData(logger, *data)
+		part, ok := shard.PartitionerByName(*partition)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coskq-server: unknown -partition strategy %q (use grid or subtree)\n", *partition)
+			os.Exit(2)
+		}
+		rt, err := shard.NewLocalRouter(ds, *shards, part, 0)
+		if err != nil {
+			logger.Error("partitioning dataset", "err", err)
+			os.Exit(1)
+		}
+		rt.Workers = *workers
+		rt.NodeBudget = *budget
+		rt.ShardTimeout = *shardTO
+		handler = server.NewScatterGather(rt, opts)
+		logger.Info("in-process scatter-gather", "shards", *shards, "partition", part.Name())
+
+	default:
+		ds := loadData(logger, *data)
+		eng := coskq.NewEngine(ds, 0)
+		eng.NodeBudget = *budget
+		eng.Parallelism = *workers
+		eng.Metrics = core.NewEngineMetrics(reg)
+		handler = server.NewWith(eng, opts)
+	}
+
+	mux := http.NewServeMux()
+	mux.Handle("/", handler)
 	if *pprofFlag {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -126,4 +172,23 @@ func main() {
 		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}
+}
+
+// loadData loads the dataset or exits.
+func loadData(logger *slog.Logger, path string) *coskq.Dataset {
+	var (
+		ds  *coskq.Dataset
+		err error
+	)
+	if strings.HasSuffix(path, ".csv") {
+		ds, err = coskq.LoadCSVDataset(path)
+	} else {
+		ds, err = coskq.LoadDataset(path)
+	}
+	if err != nil {
+		logger.Error("loading dataset", "path", path, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("dataset loaded", "name", ds.Name, "stats", ds.Stats().String())
+	return ds
 }

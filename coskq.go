@@ -38,6 +38,7 @@ import (
 	"coskq/internal/geo"
 	"coskq/internal/invindex"
 	"coskq/internal/kwds"
+	"coskq/internal/shard"
 )
 
 // Point is a planar location (Euclidean distances, as in the paper).
@@ -206,6 +207,29 @@ func NewQueryGen(e *Engine, loPct, hiPct float64, seed int64) *QueryGen {
 
 // InvertedIndex exposes keyword posting lists and frequency ranking.
 type InvertedIndex = invindex.Index
+
+// ShardRouter answers queries by distance-bounded scatter-gather over a
+// set of spatial shards, mirroring Engine.Solve/SolveCtx: exact methods
+// return exactly the single-engine answer, approximations keep their
+// proven ratios.
+type ShardRouter = shard.Router
+
+// ShardPartitioner splits a dataset into spatial shards.
+type ShardPartitioner = shard.Partitioner
+
+// GridPartitioner returns the uniform-grid sharding strategy.
+func GridPartitioner() ShardPartitioner { return shard.Grid() }
+
+// SubtreePartitioner returns the R-tree-top-subtree sharding strategy
+// (tighter shard MBRs on skewed data).
+func SubtreePartitioner() ShardPartitioner { return shard.Subtree() }
+
+// NewShardedEngine partitions ds into n shards with the given strategy
+// and returns a router over per-shard engines (IR-tree fanout 0 for the
+// default). The router answers Solve/SolveCtx like an Engine.
+func NewShardedEngine(ds *Dataset, n int, part ShardPartitioner, fanout int) (*ShardRouter, error) {
+	return shard.NewLocalRouter(ds, n, part, fanout)
+}
 
 // LoadCSVDataset reads a dataset from a CSV file with records
 // "x,y,word1 word2 ..." (header optional). See also ReadCSVLatLon for

@@ -12,6 +12,7 @@ package client
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -195,8 +196,8 @@ func (c *Client) getJSON(ctx context.Context, path string, v url.Values, out any
 			if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope) == nil {
 				apiErr.Message = envelope.Error
 			}
-			if ra, raErr := strconv.Atoi(resp.Header.Get("Retry-After")); raErr == nil && ra >= 0 {
-				apiErr.RetryAfter = time.Duration(ra) * time.Second
+			if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				apiErr.RetryAfter = ra
 			}
 			resp.Body.Close()
 			if !retryableStatus(resp.StatusCode) {
@@ -211,6 +212,44 @@ func (c *Client) getJSON(ctx context.Context, path string, v url.Values, out any
 			return err
 		}
 	}
+}
+
+// MaxRetryAfter clamps absurd Retry-After hints (a misconfigured or
+// hostile server must not park the client for hours, and delta-seconds
+// values past ~292 years overflow time.Duration outright).
+const MaxRetryAfter = 5 * time.Minute
+
+// parseRetryAfter interprets a Retry-After header value per RFC 9110
+// §10.2.3: either non-negative delta-seconds or an HTTP-date. It
+// returns (hint, true) for a usable hint — clamped to MaxRetryAfter —
+// and (0, false) for an absent, negative, past-dated, or malformed
+// value (the caller then falls back to computed backoff). A literal "0"
+// is usable but yields no hint duration, matching the previous
+// behaviour.
+func parseRetryAfter(h string, now time.Time) (time.Duration, bool) {
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.ParseInt(h, 10, 64); err == nil || errors.Is(err, strconv.ErrRange) {
+		if strings.HasPrefix(h, "-") {
+			return 0, false
+		}
+		if errors.Is(err, strconv.ErrRange) || secs > int64(MaxRetryAfter/time.Second) {
+			return MaxRetryAfter, true
+		}
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(h); err == nil {
+		d := at.Sub(now)
+		if d <= 0 {
+			return 0, false
+		}
+		if d > MaxRetryAfter {
+			return MaxRetryAfter, true
+		}
+		return d, true
+	}
+	return 0, false
 }
 
 // backoff computes the pre-retry delay: the server's Retry-After hint

@@ -81,6 +81,11 @@ const (
 	DegradeReasonBudget    = "budget"
 	DegradeReasonDeadline  = "deadline"
 	DegradeReasonCancelled = "cancelled"
+	// DegradeReasonShard marks an answer computed without one or more
+	// failed shards of a scatter-gather execution (internal/shard): the
+	// set is feasible and its cost is an upper bound on the full answer,
+	// but objects on the failed shards were not considered.
+	DegradeReasonShard = "shard"
 )
 
 // degradeReason classifies err as a cause the degrade policy may absorb;

@@ -34,6 +34,7 @@ const (
 	OwnerEnum    Point = "core.owner"    // owner enumeration loop in exact searches
 	PoolWorker   Point = "core.worker"   // parallel pool worker task body
 	ServerHandle Point = "server.handle" // HTTP handler entry (query/topk)
+	ShardFanout  Point = "shard.fanout"  // scatter-gather per-shard call body (shard.Router)
 )
 
 // Kind is the effect a rule injects when it fires.
@@ -99,18 +100,23 @@ func (c Crash) String() string {
 //     falls below Prob.
 //
 // Every and Prob are mutually exclusive; if both are set Every wins.
+// Count, when positive, caps the total number of firings — e.g.
+// {After: k-1, Every: 1, Count: 1} fires exactly once, at hit k, the
+// "kill exactly this call" shape the shard chaos suite replays.
 type Rule struct {
 	Point   Point
 	Kind    Kind
 	After   uint64        // skip the first After hits
 	Every   uint64        // fire every Every-th hit past After (0 = use Prob)
 	Prob    float64       // per-hit firing probability in [0,1] (seeded, deterministic)
+	Count   uint64        // max firings (0 = unlimited)
 	Latency time.Duration // sleep duration for KindLatency
 }
 
 type armedRule struct {
 	Rule
-	hits atomic.Uint64
+	hits  atomic.Uint64
+	fired atomic.Uint64
 }
 
 type schedule struct {
@@ -179,6 +185,9 @@ func Hit(p Point) {
 	for _, ar := range s.byPoint[p] {
 		n := ar.hits.Add(1)
 		if !fires(s.seed, p, ar, n) {
+			continue
+		}
+		if ar.Count > 0 && ar.fired.Add(1) > ar.Count {
 			continue
 		}
 		switch ar.Kind {

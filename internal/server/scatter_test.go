@@ -1,0 +1,246 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"coskq/internal/client"
+	"coskq/internal/core"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+	"coskq/internal/shard"
+)
+
+// districts builds three small shard datasets — each covering the full
+// {cafe, museum, park} vocabulary, so any single dead shard leaves
+// every query coverable — plus the combined dataset for the oracle.
+func districts() (parts []*dataset.Dataset, all *dataset.Dataset) {
+	centers := []geo.Point{{X: 0, Y: 0}, {X: 100, Y: 0}, {X: 50, Y: 80}}
+	ab := dataset.NewBuilder("all-districts")
+	for di, c := range centers {
+		b := dataset.NewBuilder(fmt.Sprintf("district-%d", di))
+		for i := 0; i < 6; i++ {
+			p := geo.Point{X: c.X + float64(i%3)*2, Y: c.Y + float64(i/3)*3}
+			ws := []string{"cafe"}
+			if i%2 == 1 {
+				ws = []string{"museum"}
+			}
+			if i == 4 {
+				ws = append(ws, "park")
+			}
+			b.Add(p, ws...)
+			ab.Add(p, ws...)
+		}
+		parts = append(parts, b.Build())
+	}
+	return parts, ab.Build()
+}
+
+// scatterFleet serves each district from its own engine server and
+// fronts them with a scatter-gather coordinator. The shard clients are
+// fail-fast (no retries) so a killed shard surfaces immediately.
+func scatterFleet(t *testing.T, opts Options) (coord *httptest.Server, shards []*httptest.Server, oracle *core.Engine) {
+	t.Helper()
+	parts, all := districts()
+	backends := make([]shard.Backend, len(parts))
+	for i, ds := range parts {
+		srv := httptest.NewServer(NewWith(core.NewEngine(ds, 0), Options{}))
+		t.Cleanup(srv.Close)
+		shards = append(shards, srv)
+		backends[i] = shard.NewHTTPBackend(&client.Client{Base: srv.URL, MaxRetries: -1})
+	}
+	coord = httptest.NewServer(NewScatterGather(&shard.Router{Backends: backends}, opts))
+	t.Cleanup(coord.Close)
+	return coord, shards, core.NewEngine(all, 0)
+}
+
+func oracleQuery(t *testing.T, eng *core.Engine, loc geo.Point, words []string) core.Result {
+	t.Helper()
+	var qset kwds.Set
+	for _, w := range words {
+		id, ok := eng.DS.Vocab.Lookup(w)
+		if !ok {
+			t.Fatalf("oracle vocab missing %q", w)
+		}
+		qset = qset.Union(kwds.NewSet(id))
+	}
+	res, err := eng.Solve(core.Query{Loc: loc, Keywords: qset}, core.MaxSum, core.OwnerExact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestScatterGatherMatchesSingleEngine: the coordinator's /query over
+// three HTTP shard servers returns the same optimal cost as one engine
+// over the combined dataset.
+func TestScatterGatherMatchesSingleEngine(t *testing.T) {
+	coord, _, eng := scatterFleet(t, Options{})
+	words := []string{"cafe", "museum", "park"}
+	for _, loc := range []geo.Point{{X: 50, Y: 30}, {X: 0, Y: 0}, {X: 120, Y: -5}} {
+		want := oracleQuery(t, eng, loc, words)
+		var got queryResponse
+		getJSON(t, fmt.Sprintf("%s/query?x=%v&y=%v&kw=cafe,museum,park", coord.URL, loc.X, loc.Y),
+			http.StatusOK, &got)
+		if got.Cost != want.Cost {
+			t.Fatalf("loc %v: scatter cost %v, engine cost %v", loc, got.Cost, want.Cost)
+		}
+		if got.Degraded || len(got.Objects) != len(want.Set) {
+			t.Fatalf("loc %v: response %+v vs oracle set %v", loc, got, want.Set)
+		}
+		if got.CostKind != "MaxSum" || got.Method != "OwnerExact" {
+			t.Fatalf("loc %v: labels %q/%q", loc, got.CostKind, got.Method)
+		}
+	}
+}
+
+// TestScatterGatherDegradesOnDeadShard: with a lenient policy, killing
+// one shard server mid-fleet yields a 200 marked Degraded (header and
+// body) whose answer is still feasible — not a 502 and not a wrong
+// answer presented as complete.
+func TestScatterGatherDegradesOnDeadShard(t *testing.T) {
+	coord, shards, eng := scatterFleet(t, Options{Degrade: core.DegradeIncumbent})
+	url := coord.URL + "/query?x=50&y=30&kw=cafe,museum,park"
+
+	// Warm the router's meta cache while the whole fleet is alive.
+	var warm queryResponse
+	getJSON(t, url, http.StatusOK, &warm)
+	if warm.Degraded {
+		t.Fatalf("healthy fleet answered degraded: %+v", warm)
+	}
+
+	shards[1].Close()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("dead shard: status %d, want 200 degraded", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Coskq-Degraded"); got != core.DegradeReasonShard {
+		t.Fatalf("X-Coskq-Degraded = %q, want %q", got, core.DegradeReasonShard)
+	}
+	var got queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded || got.Reason != core.DegradeReasonShard {
+		t.Fatalf("body not marked degraded: %+v", got)
+	}
+	// The partial answer solves over a subset of the fleet: it can never
+	// beat the full optimum, and it must still cover the query.
+	want := oracleQuery(t, eng, geo.Point{X: 50, Y: 30}, []string{"cafe", "museum", "park"})
+	if got.Cost < want.Cost {
+		t.Fatalf("degraded cost %v beats the full optimum %v", got.Cost, want.Cost)
+	}
+	if len(got.Objects) == 0 {
+		t.Fatal("degraded answer is empty")
+	}
+}
+
+// TestScatterGatherStrictPolicyReturns502: under the default strict
+// policy a dead shard is an upstream failure, reported as 502 so the
+// client's retry loop treats it as transient.
+func TestScatterGatherStrictPolicyReturns502(t *testing.T) {
+	coord, shards, _ := scatterFleet(t, Options{})
+	url := coord.URL + "/query?x=50&y=30&kw=cafe,museum,park"
+	var warm queryResponse
+	getJSON(t, url, http.StatusOK, &warm)
+
+	shards[0].Close()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("dead shard under strict policy: status %d, want 502", resp.StatusCode)
+	}
+}
+
+// TestScatterGatherSurface covers the coordinator's non-query routes
+// and parameter validation.
+func TestScatterGatherSurface(t *testing.T) {
+	coord, _, _ := scatterFleet(t, Options{})
+
+	var health struct {
+		Status string `json:"status"`
+		Mode   string `json:"mode"`
+		Shards int    `json:"shards"`
+	}
+	getJSON(t, coord.URL+"/healthz", http.StatusOK, &health)
+	if health.Status != "ok" || health.Mode != "scatter-gather" || health.Shards != 3 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	for url, status := range map[string]int{
+		"/topk?x=0&y=0&kw=cafe&n=2":    http.StatusNotImplemented,
+		"/query?x=oops&y=0&kw=cafe":    http.StatusBadRequest,
+		"/query?x=0&y=0":               http.StatusBadRequest,
+		"/query?x=0&y=0&kw=cafe&cost=": http.StatusOK,
+		"/query?x=0&y=0&kw=nosuchword": http.StatusUnprocessableEntity,
+	} {
+		resp, err := http.Get(coord.URL + url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != status {
+			t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, status)
+		}
+	}
+}
+
+// TestShardDataPlane covers the /shard/* routes every engine server
+// mounts: meta round-trips the summary, NN resolves unknown words to
+// not-found slots, and collect validates its radius.
+func TestShardDataPlane(t *testing.T) {
+	srv, _ := testServer(t)
+
+	var meta shardMetaJSON
+	getJSON(t, srv.URL+"/shard/meta", http.StatusOK, &meta)
+	if meta.Name != "city" || meta.Objects != 4 || meta.Empty {
+		t.Fatalf("meta = %+v", meta)
+	}
+	sum, err := shard.DecodeSummary(meta.Summary)
+	if err != nil {
+		t.Fatalf("summary did not round-trip: %v", err)
+	}
+	if !sum.Might("cafe") || !sum.Might("park") {
+		t.Fatal("summary lost a present keyword")
+	}
+
+	var nn shardNNJSON
+	getJSON(t, srv.URL+"/shard/nn?x=0&y=0&kw=cafe,definitely-absent", http.StatusOK, &nn)
+	if len(nn.Hits) != 2 || !nn.Hits[0].Found || nn.Hits[1].Found {
+		t.Fatalf("nn hits = %+v", nn.Hits)
+	}
+
+	var coll shardCollectJSON
+	getJSON(t, srv.URL+"/shard/collect?x=0&y=0&r=10&kw=cafe", http.StatusOK, &coll)
+	if len(coll.Objects) == 0 {
+		t.Fatal("collect returned no objects inside a covering radius")
+	}
+
+	for _, bad := range []string{
+		"/shard/collect?x=0&y=0&r=-1&kw=cafe",
+		"/shard/collect?x=0&y=0&r=NaN&kw=cafe",
+		"/shard/collect?x=0&y=0&kw=cafe",
+		"/shard/nn?x=zero&y=0&kw=cafe",
+		"/shard/nn?x=0&y=0",
+	} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}

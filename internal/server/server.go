@@ -29,6 +29,7 @@ import (
 	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,7 @@ import (
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
 	"coskq/internal/metrics"
+	"coskq/internal/shard"
 	"coskq/internal/trace"
 )
 
@@ -118,8 +120,28 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	if eng.Metrics == nil {
 		eng.Metrics = core.NewEngineMetrics(reg)
 	}
+	s := newBase(opts, reg)
+	s.eng = eng
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.Handle("GET /query", s.adm.middleware(http.HandlerFunc(s.handleQuery)))
+	mux.Handle("GET /topk", s.adm.middleware(http.HandlerFunc(s.handleTopK)))
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	// Every server is also a shard: the scatter-gather data plane is
+	// always mounted so any dataset server can join a fleet (shard.go).
+	mux.HandleFunc("GET /shard/meta", s.handleShardMeta)
+	mux.Handle("GET /shard/nn", s.adm.middleware(http.HandlerFunc(s.handleShardNN)))
+	mux.Handle("GET /shard/collect", s.adm.middleware(http.HandlerFunc(s.handleShardCollect)))
+	return s.wrap(mux, opts.Timeout)
+}
+
+// newBase builds the shared middleware/observability state every
+// handler stack variant (engine server, scatter-gather coordinator)
+// hangs off.
+func newBase(opts Options, reg *metrics.Registry) *server {
 	s := &server{
-		eng:         eng,
 		reg:         reg,
 		log:         opts.Logger,
 		httpLatency: reg.Histogram("coskq_http_request_seconds", httpLatencyBuckets),
@@ -144,16 +166,15 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	} else {
 		s.idToken = "static"
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /stats", s.handleStats)
-	mux.Handle("GET /query", s.adm.middleware(http.HandlerFunc(s.handleQuery)))
-	mux.Handle("GET /topk", s.adm.middleware(http.HandlerFunc(s.handleTopK)))
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
-	var h http.Handler = mux
-	if opts.Timeout > 0 {
-		h = timeoutMiddleware(opts.Timeout, h)
+	return s
+}
+
+// wrap applies the outer middleware stack (request id → recover →
+// observe → optional timeout) around mux.
+func (s *server) wrap(mux http.Handler, timeout time.Duration) http.Handler {
+	h := mux
+	if timeout > 0 {
+		h = timeoutMiddleware(timeout, h)
 	}
 	h = s.observeMiddleware(h)
 	h = s.recoverMiddleware(h)
@@ -176,6 +197,9 @@ type server struct {
 	budgetRate  float64
 	idToken     string
 	idCounter   atomic.Uint64
+
+	shardOnce sync.Once
+	shardB    *shard.EngineBackend
 }
 
 // requestEngine returns the engine one request solves on: the shared
@@ -228,7 +252,8 @@ func (s *server) requestIDMiddleware(next http.Handler) http.Handler {
 // path-scanning client cannot grow the metric set).
 func routeLabel(path string) string {
 	switch path {
-	case "/stats", "/query", "/topk", "/healthz", "/metrics", "/debug/slowlog":
+	case "/stats", "/query", "/topk", "/healthz", "/metrics", "/debug/slowlog",
+		"/shard/meta", "/shard/nn", "/shard/collect":
 		return path
 	default:
 		return "other"

@@ -1,0 +1,285 @@
+// Scatter-gather over HTTP. Every engine server mounts the shard data
+// plane (/shard/meta, /shard/nn, /shard/collect) so it can serve as one
+// shard of a fleet, and NewScatterGather builds the coordinator: the
+// same /query surface, answered by fanning out to peer shard servers
+// through a shard.Router instead of a local engine. The JSON shapes
+// mirror internal/client's Shard* types — that client is the transport
+// of shard.HTTPBackend.
+package server
+
+import (
+	"errors"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"coskq/internal/core"
+	"coskq/internal/geo"
+	"coskq/internal/metrics"
+	"coskq/internal/shard"
+)
+
+// shardBackend lazily wraps the server's engine as an in-process shard
+// backend (identity id mapping: reported ids are this server's own
+// object ids). Lazy because the keyword summary scans the dataset once.
+func (s *server) shardBackend() *shard.EngineBackend {
+	s.shardOnce.Do(func() {
+		s.shardB = shard.WrapEngine(s.eng.DS.Name, s.eng)
+	})
+	return s.shardB
+}
+
+// shardMetaJSON is the /shard/meta body (client.ShardMetaResponse).
+type shardMetaJSON struct {
+	Name    string  `json:"name"`
+	Objects int     `json:"objects"`
+	MinX    float64 `json:"minX"`
+	MinY    float64 `json:"minY"`
+	MaxX    float64 `json:"maxX"`
+	MaxY    float64 `json:"maxY"`
+	Empty   bool    `json:"empty"`
+	Summary string  `json:"summary"`
+}
+
+// shardNNHitJSON is one /shard/nn entry (client.ShardNNHit).
+type shardNNHitJSON struct {
+	Found    bool     `json:"found"`
+	ID       uint32   `json:"id"`
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Dist     float64  `json:"dist"`
+	Keywords []string `json:"keywords"`
+}
+
+type shardNNJSON struct {
+	Hits []shardNNHitJSON `json:"hits"`
+}
+
+// shardObjectJSON is one /shard/collect entry (client.ShardObject).
+type shardObjectJSON struct {
+	ID       uint32   `json:"id"`
+	X        float64  `json:"x"`
+	Y        float64  `json:"y"`
+	Keywords []string `json:"keywords"`
+}
+
+type shardCollectJSON struct {
+	Objects []shardObjectJSON `json:"objects"`
+}
+
+func (s *server) handleShardMeta(w http.ResponseWriter, r *http.Request) {
+	m, _ := s.shardBackend().Meta(r.Context())
+	resp := shardMetaJSON{Name: m.Name, Objects: m.Objects, Summary: m.Summary.Encode()}
+	if m.Objects == 0 {
+		resp.Empty = true
+	} else {
+		resp.MinX, resp.MinY = m.MBR.MinX, m.MBR.MinY
+		resp.MaxX, resp.MaxY = m.MBR.MaxX, m.MBR.MaxY
+	}
+	writeJSON(w, resp)
+}
+
+// parseShardParams extracts the shard query (location + keyword
+// strings). Unlike parseQuery, unknown keywords are NOT an error here —
+// a shard is expected to lack most of the fleet's vocabulary, and the
+// Backend contract resolves unknown words to "not found".
+func parseShardParams(r *http.Request) (shard.ShardQuery, error) {
+	q := r.URL.Query()
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	if errX != nil || errY != nil {
+		return shard.ShardQuery{}, errors.New("x and y must be numbers")
+	}
+	var words []string
+	for _, wrd := range strings.Split(q.Get("kw"), ",") {
+		if wrd = strings.TrimSpace(wrd); wrd != "" {
+			words = append(words, wrd)
+		}
+	}
+	if len(words) == 0 {
+		return shard.ShardQuery{}, errors.New("provide kw=a,b,c")
+	}
+	return shard.ShardQuery{Loc: geo.Point{X: x, Y: y}, Words: words}, nil
+}
+
+func (s *server) handleShardNN(w http.ResponseWriter, r *http.Request) {
+	sq, err := parseShardParams(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := serveFault(); err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	hits, err := s.shardBackend().NN(r.Context(), sq)
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	resp := shardNNJSON{Hits: make([]shardNNHitJSON, len(hits))}
+	for i, h := range hits {
+		if !h.Found {
+			continue
+		}
+		resp.Hits[i] = shardNNHitJSON{
+			Found: true, ID: uint32(h.Cand.GID),
+			X: h.Cand.Loc.X, Y: h.Cand.Loc.Y,
+			Dist: h.Dist, Keywords: h.Cand.Words,
+		}
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleShardCollect(w http.ResponseWriter, r *http.Request) {
+	sq, err := parseShardParams(r)
+	if err != nil {
+		jsonError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	radius, err := strconv.ParseFloat(r.URL.Query().Get("r"), 64)
+	if err != nil || radius < 0 || math.IsNaN(radius) || math.IsInf(radius, 0) {
+		jsonError(w, http.StatusBadRequest, "r must be a non-negative finite number")
+		return
+	}
+	if err := serveFault(); err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	cands, err := s.shardBackend().Collect(r.Context(), sq, radius)
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	resp := shardCollectJSON{Objects: make([]shardObjectJSON, len(cands))}
+	for i, c := range cands {
+		resp.Objects[i] = shardObjectJSON{
+			ID: uint32(c.GID), X: c.Loc.X, Y: c.Loc.Y, Keywords: c.Words,
+		}
+	}
+	writeJSON(w, resp)
+}
+
+// NewScatterGather returns the coordinator handler stack over a shard
+// router: the engine server's /query surface (same parameters, same
+// response shape, same middleware — admission, timeout, tracing,
+// metrics) with solves fanned out across rt's backends. /topk is not
+// served in scatter-gather mode (501). When rt has no metrics sink, one
+// recording into this handler's registry is attached, so routing and
+// HTTP metrics share the /metrics exposition.
+func NewScatterGather(rt *shard.Router, opts Options) http.Handler {
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	if rt.Metrics == nil {
+		rt.Metrics = shard.NewMetrics(reg)
+	}
+	if opts.Degrade != core.DegradeFail {
+		rt.Degrade = opts.Degrade
+	}
+	s := newBase(opts, reg)
+	mux := http.NewServeMux()
+	mux.Handle("GET /query", s.adm.middleware(s.scatterQueryHandler(rt)))
+	mux.HandleFunc("GET /topk", func(w http.ResponseWriter, r *http.Request) {
+		jsonError(w, http.StatusNotImplemented, "topk is not served in scatter-gather mode; query a shard server directly")
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{
+			"status": "ok",
+			"mode":   "scatter-gather",
+			"shards": len(rt.Backends),
+		})
+	})
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
+	return s.wrap(mux, opts.Timeout)
+}
+
+// writeScatterError extends writeSolveError with the routing failure
+// mode: a shard failure the router could not degrade around is an
+// upstream failure (502), which the client treats as retryable.
+func writeScatterError(w http.ResponseWriter, err error) {
+	var se *shard.ShardError
+	if errors.As(err, &se) {
+		jsonError(w, http.StatusBadGateway, "%v", se)
+		return
+	}
+	writeSolveError(w, err)
+}
+
+func (s *server) scatterQueryHandler(rt *shard.Router) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		x, errX := strconv.ParseFloat(q.Get("x"), 64)
+		y, errY := strconv.ParseFloat(q.Get("y"), 64)
+		if errX != nil || errY != nil {
+			jsonError(w, http.StatusBadRequest, "x and y must be numbers")
+			return
+		}
+		loc := geo.Point{X: x, Y: y}
+		var words []string
+		for _, wrd := range strings.Split(q.Get("kw"), ",") {
+			if wrd = strings.TrimSpace(wrd); wrd != "" {
+				words = append(words, wrd)
+			}
+		}
+		if len(words) == 0 {
+			jsonError(w, http.StatusBadRequest, "provide kw=a,b,c")
+			return
+		}
+		cost := core.MaxSum
+		if cs := q.Get("cost"); cs != "" {
+			var ok bool
+			if cost, ok = costByName(cs); !ok {
+				jsonError(w, http.StatusBadRequest, "unknown cost %q", cs)
+				return
+			}
+		}
+		method, ok := methodByName(q.Get("method"))
+		if !ok {
+			jsonError(w, http.StatusBadRequest, "unknown method %q", q.Get("method"))
+			return
+		}
+		if err := serveFault(); err != nil {
+			writeSolveError(w, err)
+			return
+		}
+		ctx, tr, explain := s.beginTrace(r, "scatter")
+		start := time.Now()
+		ans, err := rt.RouteWords(ctx, loc, words, cost, method)
+		elapsed := time.Since(start)
+		xp := s.finishTrace(r, tr, elapsed, err)
+		if err != nil {
+			writeScatterError(w, err)
+			return
+		}
+		res := ans.Result
+		if res.Degraded {
+			w.Header().Set("X-Coskq-Degraded", res.Stats.DegradeReason)
+		}
+		objs := make([]objectJSON, len(ans.Members))
+		for i, c := range ans.Members {
+			objs[i] = objectJSON{
+				ID: uint32(c.GID), X: c.Loc.X, Y: c.Loc.Y,
+				DistQ:    loc.Dist(c.Loc),
+				Keywords: c.Words,
+			}
+		}
+		resp := queryResponse{
+			Cost:      res.Cost,
+			CostKind:  cost.String(),
+			Method:    method.String(),
+			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+			Objects:   objs,
+			Degraded:  res.Degraded,
+			Reason:    res.Stats.DegradeReason,
+		}
+		if explain {
+			resp.Trace = xp
+		}
+		writeJSON(w, resp)
+	})
+}

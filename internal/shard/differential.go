@@ -1,0 +1,119 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"coskq/internal/core"
+)
+
+// DiffConfig selects the methods a sharded Differential run cross-checks
+// against the single engine.
+type DiffConfig struct {
+	// Exact methods must reproduce the single engine's cost AND its
+	// canonical answer set: the gather pool contains every optimal-set
+	// member, so the routed exact answer is the single-engine answer.
+	Exact []core.Method
+	// Approx methods must return a feasible set within the method's
+	// proven ratio of the true optimum (computed once via the single
+	// engine's OwnerExact). Their access patterns are not pool-bounded,
+	// so set identity is not required — only the ratio the paper proves.
+	Approx []core.Method
+	// Tol is the relative floating-point tolerance (0 means 1e-9).
+	Tol float64
+}
+
+// Differential solves q under cost on both the single engine and the
+// router with every configured method and returns a descriptive error on
+// the first divergence. It is the sharded analogue of
+// core.Engine.Differential and the core of the sharding correctness
+// suite: Router ≡ single engine for exact methods, ratio-bounded for
+// approximations, over any partitioner and shard count.
+func Differential(eng *core.Engine, r *Router, q core.Query, cost core.CostKind, cfg DiffConfig) error {
+	tol := cfg.Tol
+	if tol == 0 {
+		tol = 1e-9
+	}
+	ctx := context.Background()
+
+	var optCost float64
+	haveOpt := false
+	optimum := func() (float64, error) {
+		if !haveOpt {
+			opt, err := eng.Solve(q, cost, core.OwnerExact)
+			if err != nil {
+				return 0, fmt.Errorf("shard differential: optimum oracle failed: %w", err)
+			}
+			optCost, haveOpt = opt.Cost, true
+		}
+		return optCost, nil
+	}
+
+	check := func(m core.Method, exact bool) error {
+		single, sErr := eng.Solve(q, cost, m)
+		routed, rErr := r.SolveCtx(ctx, q, cost, m)
+		if (sErr == nil) != (rErr == nil) || (sErr != nil && !errors.Is(rErr, sErr) && !errors.Is(sErr, rErr)) {
+			return fmt.Errorf("shard differential: %v/%v error mismatch: single=%v routed=%v", cost, m, sErr, rErr)
+		}
+		if sErr != nil {
+			return nil // both failed identically (e.g. infeasible, unsupported)
+		}
+		if routed.Degraded {
+			return fmt.Errorf("shard differential: %v/%v routed answer degraded (%s) with no faults armed",
+				cost, m, routed.Stats.DegradeReason)
+		}
+		if !eng.Feasible(q, routed.Set) {
+			return fmt.Errorf("shard differential: %v/%v routed set %v infeasible", cost, m, routed.Set)
+		}
+		if got := eng.EvalCost(cost, q.Loc, routed.Set); math.Abs(got-routed.Cost) > tol*math.Max(1, got) {
+			return fmt.Errorf("shard differential: %v/%v routed cost %v but set evaluates to %v",
+				cost, m, routed.Cost, got)
+		}
+		scale := tol * math.Max(1, single.Cost)
+		if exact {
+			if math.Abs(routed.Cost-single.Cost) > scale {
+				return fmt.Errorf("shard differential: %v/%v routed cost %v ≠ single-engine cost %v",
+					cost, m, routed.Cost, single.Cost)
+			}
+			if len(routed.Set) != len(single.Set) {
+				return fmt.Errorf("shard differential: %v/%v routed set %v ≠ single-engine set %v",
+					cost, m, routed.Set, single.Set)
+			}
+			for i := range routed.Set {
+				if routed.Set[i] != single.Set[i] {
+					return fmt.Errorf("shard differential: %v/%v routed set %v ≠ single-engine set %v",
+						cost, m, routed.Set, single.Set)
+				}
+			}
+			return nil
+		}
+		opt, err := optimum()
+		if err != nil {
+			return err
+		}
+		oscale := tol * math.Max(1, opt)
+		if routed.Cost < opt-oscale {
+			return fmt.Errorf("shard differential: %v/%v routed cost %v beats the optimum %v",
+				cost, m, routed.Cost, opt)
+		}
+		if bound := core.ApproRatioBound(cost, m); bound > 0 && routed.Cost > bound*opt+oscale {
+			return fmt.Errorf("shard differential: %v/%v routed cost %v exceeds the %.4g× bound over optimum %v",
+				cost, m, routed.Cost, bound, opt)
+		}
+		return nil
+	}
+
+	for _, m := range cfg.Exact {
+		if err := check(m, true); err != nil {
+			return err
+		}
+	}
+	for _, m := range cfg.Approx {
+		if err := check(m, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package shard
+
+import (
+	"context"
+
+	"coskq/internal/client"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+)
+
+// HTTPBackend serves one shard from a remote coskq-server over the
+// /shard/* data-plane endpoints, with the client's retry/backoff
+// applied per call — a shard shedding load (429) is retried within the
+// call's deadline before the router counts it as failed. Candidate ids
+// are shard-local (unique per shard, not globally), which the router's
+// (shard, id) keying accommodates.
+type HTTPBackend struct {
+	C *client.Client
+}
+
+// NewHTTPBackend returns a backend calling the shard server at base
+// (e.g. "http://10.0.0.7:8080").
+func NewHTTPBackend(c *client.Client) *HTTPBackend { return &HTTPBackend{C: c} }
+
+// Name implements Backend.
+func (b *HTTPBackend) Name() string { return b.C.Base }
+
+// Meta implements Backend.
+func (b *HTTPBackend) Meta(ctx context.Context) (Meta, error) {
+	m, err := b.C.ShardMeta(ctx)
+	if err != nil {
+		return Meta{}, err
+	}
+	sum, err := DecodeSummary(m.Summary)
+	if err != nil {
+		return Meta{}, err
+	}
+	mbr := geo.EmptyRect()
+	if !m.Empty {
+		mbr = geo.Rect{MinX: m.MinX, MinY: m.MinY, MaxX: m.MaxX, MaxY: m.MaxY}
+	}
+	return Meta{Name: m.Name, Objects: m.Objects, MBR: mbr, Summary: sum}, nil
+}
+
+// NN implements Backend.
+func (b *HTTPBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
+	resp, err := b.C.ShardNN(ctx, q.Loc.X, q.Loc.Y, q.Words)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]NNHit, len(resp.Hits))
+	for i, h := range resp.Hits {
+		if !h.Found {
+			continue
+		}
+		hits[i] = NNHit{
+			Found: true,
+			Dist:  h.Dist,
+			Cand: Candidate{
+				GID:   dataset.ObjectID(h.ID),
+				Loc:   geo.Point{X: h.X, Y: h.Y},
+				Words: h.Keywords,
+			},
+		}
+	}
+	return hits, nil
+}
+
+// Collect implements Backend.
+func (b *HTTPBackend) Collect(ctx context.Context, q ShardQuery, radius float64) ([]Candidate, error) {
+	resp, err := b.C.ShardCollect(ctx, q.Loc.X, q.Loc.Y, radius, q.Words)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Candidate, len(resp.Objects))
+	for i, o := range resp.Objects {
+		out[i] = Candidate{
+			GID:   dataset.ObjectID(o.ID),
+			Loc:   geo.Point{X: o.X, Y: o.Y},
+			Words: o.Keywords,
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"testing"
+
+	"coskq/internal/datagen"
+	"coskq/internal/dataset"
+)
+
+func testDataset(seed int64, n int) *dataset.Dataset {
+	return datagen.Generate(datagen.Config{
+		Name: "shard-test", NumObjects: n, VocabSize: 40,
+		AvgKeywords: 3, Clusters: 5, Seed: seed,
+	})
+}
+
+// TestPartitionDisjointExhaustive checks the Partitioner contract for
+// both strategies over the shard counts the differential suite uses:
+// exactly n shards, every object on exactly one of them, dense local
+// ids mapping back to the right global object, shared vocabulary.
+func TestPartitionDisjointExhaustive(t *testing.T) {
+	ds := testDataset(11, 300)
+	for _, part := range []Partitioner{Grid(), Subtree()} {
+		for _, n := range []int{1, 2, 4, 7} {
+			shards, err := part.Partition(ds, n)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", part.Name(), n, err)
+			}
+			if len(shards) != n {
+				t.Fatalf("%s n=%d: got %d shards", part.Name(), n, len(shards))
+			}
+			seen := make(map[dataset.ObjectID]bool)
+			total := 0
+			for si, sh := range shards {
+				if sh.DS.Vocab != ds.Vocab {
+					t.Fatalf("%s n=%d shard %d: vocabulary not shared", part.Name(), n, si)
+				}
+				if sh.DS.Len() != len(sh.GlobalIDs) {
+					t.Fatalf("%s n=%d shard %d: %d objects but %d global ids",
+						part.Name(), n, si, sh.DS.Len(), len(sh.GlobalIDs))
+				}
+				for lid, gid := range sh.GlobalIDs {
+					if seen[gid] {
+						t.Fatalf("%s n=%d: object %d assigned twice", part.Name(), n, gid)
+					}
+					seen[gid] = true
+					lo := sh.DS.Object(dataset.ObjectID(lid))
+					if lo.ID != dataset.ObjectID(lid) {
+						t.Fatalf("%s n=%d shard %d: local id %d stored as %d",
+							part.Name(), n, si, lid, lo.ID)
+					}
+					if lo.Loc != ds.Object(gid).Loc {
+						t.Fatalf("%s n=%d shard %d: local %d maps to wrong object",
+							part.Name(), n, si, lid)
+					}
+				}
+				total += sh.DS.Len()
+			}
+			if total != ds.Len() {
+				t.Fatalf("%s n=%d: %d objects across shards, dataset has %d",
+					part.Name(), n, total, ds.Len())
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic re-partitions and requires an identical
+// assignment — the property the chaos replay tests build on.
+func TestPartitionDeterministic(t *testing.T) {
+	ds := testDataset(12, 250)
+	for _, part := range []Partitioner{Grid(), Subtree()} {
+		a, err := part.Partition(ds, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := part.Partition(ds, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si := range a {
+			if len(a[si].GlobalIDs) != len(b[si].GlobalIDs) {
+				t.Fatalf("%s shard %d: sizes differ between runs", part.Name(), si)
+			}
+			for i := range a[si].GlobalIDs {
+				if a[si].GlobalIDs[i] != b[si].GlobalIDs[i] {
+					t.Fatalf("%s shard %d: assignment differs between runs", part.Name(), si)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionEmptyShards: more shards than spatial clusters must
+// still satisfy the contract (some shards legitimately end up empty for
+// subtree partitioning of tiny data).
+func TestPartitionMoreShardsThanObjects(t *testing.T) {
+	b := dataset.NewBuilder("tiny")
+	b.Add(pt(1, 1), "a")
+	b.Add(pt(2, 2), "b")
+	ds := b.Build()
+	for _, part := range []Partitioner{Grid(), Subtree()} {
+		shards, err := part.Partition(ds, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", part.Name(), err)
+		}
+		total := 0
+		for _, sh := range shards {
+			total += sh.DS.Len()
+		}
+		if len(shards) != 7 || total != 2 {
+			t.Fatalf("%s: got %d shards covering %d objects", part.Name(), len(shards), total)
+		}
+	}
+	if _, err := Grid().Partition(ds, 0); err == nil {
+		t.Fatal("grid accepted n=0")
+	}
+	if _, err := Subtree().Partition(ds, -1); err == nil {
+		t.Fatal("subtree accepted n=-1")
+	}
+}
+
+func TestPartitionerByName(t *testing.T) {
+	for name, want := range map[string]string{"": "grid", "grid": "grid", "subtree": "subtree"} {
+		p, ok := PartitionerByName(name)
+		if !ok || p.Name() != want {
+			t.Fatalf("PartitionerByName(%q) = %v, %v", name, p, ok)
+		}
+	}
+	if _, ok := PartitionerByName("voronoi"); ok {
+		t.Fatal("unknown partitioner accepted")
+	}
+}

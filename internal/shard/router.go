@@ -1,0 +1,594 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"coskq/internal/core"
+	"coskq/internal/dataset"
+	"coskq/internal/fault"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+	"coskq/internal/metrics"
+	"coskq/internal/trace"
+)
+
+// ShardFailure records one failed shard call of a routed query.
+type ShardFailure struct {
+	Shard int
+	Phase string // "meta", "nn", "collect"
+	Err   error
+}
+
+// ShardError is the error a routed query returns when shard failures
+// prevent an answer (always under core.DegradeFail; under the lenient
+// policies only when the surviving shards cannot cover the query).
+type ShardError struct {
+	Name  string
+	Shard int
+	Phase string
+	Err   error
+}
+
+// Error implements error.
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("shard %d (%s) failed during %s: %v", e.Shard, e.Name, e.Phase, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// RouteInfo describes how one routed query fanned out; the property
+// tests assert the prune decisions against exhaustive re-solves.
+type RouteInfo struct {
+	Shards        int
+	KeywordPruned []int // shards skipped by the keyword summary
+	MBRPruned     []int // shards skipped by MinDist(q, MBR) > Radius
+	Failed        []ShardFailure
+	SeedCost      float64 // cost U of the merged nearest-neighbor set N(q)
+	Radius        float64 // gather radius (= SeedCost for every cost kind)
+	PoolSize      int     // objects the pool engine solved over
+}
+
+// Answer is the full outcome of a routed query: the facade Result (its
+// Set holds global object ids, exact for in-process backends), the
+// resolved answer members, and the routing decisions.
+type Answer struct {
+	Result  core.Result
+	Members []Candidate
+	Info    RouteInfo
+}
+
+// Metrics aggregates scatter-gather counters into a metrics.Registry.
+// All methods are nil-receiver safe, so an unmetered router pays one
+// branch per event.
+type Metrics struct {
+	reg           *metrics.Registry
+	queries       *metrics.Counter
+	degraded      *metrics.Counter
+	prunedKeyword *metrics.Counter
+	prunedMBR     *metrics.Counter
+	poolSize      *metrics.Histogram
+}
+
+// NewMetrics registers the router metric family in reg.
+func NewMetrics(reg *metrics.Registry) *Metrics {
+	return &Metrics{
+		reg:           reg,
+		queries:       reg.Counter("coskq_shard_queries_total"),
+		degraded:      reg.Counter("coskq_shard_degraded_total"),
+		prunedKeyword: reg.Counter(`coskq_shard_pruned_total{reason="keyword"}`),
+		prunedMBR:     reg.Counter(`coskq_shard_pruned_total{reason="mbr"}`),
+		poolSize:      reg.Histogram("coskq_shard_pool_objects", []float64{1, 4, 16, 64, 256, 1024, 4096}),
+	}
+}
+
+func (m *Metrics) query() {
+	if m != nil {
+		m.queries.Inc()
+	}
+}
+
+func (m *Metrics) degrade() {
+	if m != nil {
+		m.degraded.Inc()
+	}
+}
+
+func (m *Metrics) pruned(keyword, mbr int) {
+	if m != nil {
+		m.prunedKeyword.Add(uint64(keyword))
+		m.prunedMBR.Add(uint64(mbr))
+	}
+}
+
+func (m *Metrics) pool(size int) {
+	if m != nil {
+		m.poolSize.Observe(float64(size))
+	}
+}
+
+func (m *Metrics) call(phase, name string) {
+	if m != nil {
+		m.reg.Counter(fmt.Sprintf("coskq_shard_calls_total{phase=%q,shard=%q}", phase, name)).Inc()
+	}
+}
+
+func (m *Metrics) failure(phase, name string) {
+	if m != nil {
+		m.reg.Counter(fmt.Sprintf("coskq_shard_failures_total{phase=%q,shard=%q}", phase, name)).Inc()
+	}
+}
+
+// Router answers CoSKQ queries over a set of shard backends with
+// distance-bounded scatter-gather (see the package comment for the
+// correctness argument). Configure the public fields before serving;
+// a Router is then safe for concurrent queries.
+type Router struct {
+	Backends []Backend
+	// Vocab, when set, lets Solve/SolveCtx accept core.Query keyword
+	// sets interned in it (NewLocalRouter wires the dataset vocabulary).
+	// RouteWords needs no vocabulary.
+	Vocab *kwds.Vocabulary
+	// Fanout bounds concurrent shard calls per query; 0 means all shards
+	// at once, 1 forces the deterministic serial schedule (shard order).
+	Fanout int
+	// Workers is the pool-solve parallelism, passed through to the
+	// per-query engine (core.Engine.Parallelism semantics).
+	Workers int
+	// NodeBudget caps the pool solve's search effort (core semantics).
+	NodeBudget int
+	// Degrade selects failure semantics. DegradeFail (default): any
+	// failed shard fails the query with a ShardError. The lenient
+	// policies continue with the surviving shards when they still cover
+	// the query, marking the answer Degraded with reason "shard"; the
+	// policy also applies inside the pool solve.
+	Degrade core.DegradePolicy
+	// ShardTimeout bounds each individual shard call. Zero means calls
+	// are bounded only by ctx.
+	ShardTimeout time.Duration
+	// TreeFanout is the IR-tree fanout of the per-query pool engine.
+	TreeFanout int
+	// Metrics, when non-nil, receives per-query routing counters.
+	Metrics *Metrics
+
+	mu    sync.Mutex
+	metas []Meta
+}
+
+// Init fetches every shard's routing summary. Routing calls it lazily;
+// call it eagerly to surface unreachable shards at startup. A failed
+// Init leaves the router un-initialized so a later call can retry.
+func (r *Router) Init(ctx context.Context) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.metas != nil {
+		return nil
+	}
+	if len(r.Backends) == 0 {
+		return errors.New("shard: router has no backends")
+	}
+	metas := make([]Meta, len(r.Backends))
+	for i, b := range r.Backends {
+		m, err := b.Meta(ctx)
+		if err != nil {
+			return &ShardError{Name: b.Name(), Shard: i, Phase: "meta", Err: err}
+		}
+		metas[i] = m
+	}
+	r.metas = metas
+	return nil
+}
+
+// Solve mirrors core.Engine.Solve over the shard fleet.
+func (r *Router) Solve(q core.Query, cost core.CostKind, method core.Method) (core.Result, error) {
+	return r.SolveCtx(context.Background(), q, cost, method)
+}
+
+// SolveCtx mirrors core.Engine.SolveCtx: same query, cost and method
+// types, same Result contract (for in-process backends, Result.Set is
+// global object ids — identical to the single engine's answer for the
+// exact methods). Requires Vocab.
+func (r *Router) SolveCtx(ctx context.Context, q core.Query, cost core.CostKind, method core.Method) (core.Result, error) {
+	if r.Vocab == nil {
+		return core.Result{}, errors.New("shard: router has no vocabulary; use RouteWords")
+	}
+	words := make([]string, len(q.Keywords))
+	for i, id := range q.Keywords {
+		words[i] = r.Vocab.Word(id)
+	}
+	ans, err := r.RouteWords(ctx, q.Loc, words, cost, method)
+	return ans.Result, err
+}
+
+// dedupeWords drops duplicate keywords preserving first-seen order (the
+// per-word NN merge indexes hits by position).
+func dedupeWords(words []string) []string {
+	seen := make(map[string]bool, len(words))
+	out := words[:0:0]
+	for _, w := range words {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// evalCandidates computes cost(S) over candidates, mirroring
+// core.Engine.EvalCost.
+func evalCandidates(cost core.CostKind, q geo.Point, set []Candidate) float64 {
+	maxD, minD, sumD := 0.0, 0.0, 0.0
+	for i, c := range set {
+		d := q.Dist(c.Loc)
+		sumD += d
+		if i == 0 || d > maxD {
+			maxD = d
+		}
+		if i == 0 || d < minD {
+			minD = d
+		}
+	}
+	maxPair := 0.0
+	for i := 0; i < len(set); i++ {
+		for j := i + 1; j < len(set); j++ {
+			if d := set[i].Loc.Dist(set[j].Loc); d > maxPair {
+				maxPair = d
+			}
+		}
+	}
+	switch cost {
+	case core.MaxSum:
+		return maxD + maxPair
+	case core.Dia:
+		if maxD > maxPair {
+			return maxD
+		}
+		return maxPair
+	case core.Sum:
+		return sumD
+	case core.MinMax:
+		return minD + maxPair
+	case core.SumMax:
+		return sumD + maxPair
+	default:
+		panic(fmt.Sprintf("shard: unknown cost kind %d", int(cost)))
+	}
+}
+
+// candKey identifies a candidate across shards. In-process backends
+// report unique global ids, but HTTP backends report shard-local ids, so
+// the shard ordinal is part of the key.
+type candKey struct {
+	shard int
+	gid   dataset.ObjectID
+}
+
+// callShard runs one shard call under the fault injection point, the
+// per-shard timeout, and a panic shield. The router models the process
+// boundary of a distributed deployment: any panic out of a backend —
+// including injected fault.Crash — is converted into a failed call, so
+// one crashing shard can degrade a query but never tear down the
+// router or produce a torn merge.
+func (r *Router) callShard(ctx context.Context, ord int, phase string, fn func(context.Context) error) error {
+	r.Metrics.call(phase, r.Backends[ord].Name())
+	cctx := ctx
+	var cancel context.CancelFunc
+	if r.ShardTimeout > 0 {
+		cctx, cancel = context.WithTimeout(ctx, r.ShardTimeout)
+		defer cancel()
+	}
+	run := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				if e, ok := p.(error); ok {
+					err = e
+				} else {
+					err = fmt.Errorf("shard panic: %v", p)
+				}
+			}
+		}()
+		fault.Hit(fault.ShardFanout)
+		return fn(cctx)
+	}
+	var err error
+	if cctx.Done() == nil {
+		err = run()
+	} else {
+		// The body may not be context-aware (in-process index walks are
+		// not), so enforce the deadline from outside: the abandoned call
+		// finishes into a buffered channel and its goroutine exits.
+		done := make(chan error, 1)
+		go func() { done <- run() }()
+		select {
+		case err = <-done:
+		case <-cctx.Done():
+			err = cctx.Err()
+		}
+	}
+	if err != nil {
+		r.Metrics.failure(phase, r.Backends[ord].Name())
+		return &ShardError{Name: r.Backends[ord].Name(), Shard: ord, Phase: phase, Err: err}
+	}
+	return nil
+}
+
+// scatter fans call out over the given shard ordinals, bounded by
+// Fanout. Fanout 1 runs the calls inline in shard order — the
+// deterministic schedule the chaos suite replays. The returned slice is
+// indexed by shard ordinal.
+func (r *Router) scatter(ctx context.Context, phase string, grp *trace.Group, shards []int, call func(context.Context, int) error) []error {
+	errs := make([]error, len(r.Backends))
+	one := func(ord int) {
+		sp := grp.Begin(fmt.Sprintf("%s:%s", phase, r.Backends[ord].Name()))
+		errs[ord] = r.callShard(ctx, ord, phase, func(c context.Context) error { return call(c, ord) })
+		sp.End()
+	}
+	fanout := r.Fanout
+	if fanout <= 0 || fanout > len(shards) {
+		fanout = len(shards)
+	}
+	if fanout <= 1 {
+		for _, ord := range shards {
+			one(ord)
+		}
+		return errs
+	}
+	sem := make(chan struct{}, fanout)
+	var wg sync.WaitGroup
+	for _, ord := range shards {
+		wg.Add(1)
+		go func(ord int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			one(ord)
+		}(ord)
+	}
+	wg.Wait()
+	return errs
+}
+
+// RouteWords answers one CoSKQ query over the shard fleet. Keywords are
+// strings; each shard resolves them against its own vocabulary, so the
+// router needs none. See Router for failure semantics.
+func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, cost core.CostKind, method core.Method) (Answer, error) {
+	words = dedupeWords(words)
+	if len(words) == 0 {
+		return Answer{}, errors.New("shard: query has no keywords")
+	}
+	if len(words) > kwds.MaxQueryKeywords {
+		return Answer{}, fmt.Errorf("shard: query keyword set of size %d exceeds limit %d", len(words), kwds.MaxQueryKeywords)
+	}
+	if err := r.Init(ctx); err != nil {
+		return Answer{}, err
+	}
+	r.Metrics.query()
+	tr := trace.FromContext(ctx)
+	sq := ShardQuery{Loc: loc, Words: words}
+	info := RouteInfo{Shards: len(r.Backends)}
+	gatherStart := time.Now()
+
+	// Phase 1: keyword prune. A clear summary bit proves the word absent
+	// from the shard, so skipping it can neither lose answer members nor
+	// mask infeasibility.
+	var alive []int
+	for i := range r.Backends {
+		if r.metas[i].Objects == 0 || !r.metas[i].Summary.MightAny(words) {
+			info.KeywordPruned = append(info.KeywordPruned, i)
+			continue
+		}
+		alive = append(alive, i)
+	}
+
+	// Phase 2: scatter per-keyword NN probes and merge the global
+	// nearest neighbor per word by (distance, shard ordinal) — the
+	// deterministic tie order the merge contract promises.
+	hits := make([][]NNHit, len(r.Backends))
+	grp := tr.BeginGroup("shard_nn")
+	nnErrs := r.scatter(ctx, "nn", grp, alive, func(c context.Context, ord int) error {
+		h, err := r.Backends[ord].NN(c, sq)
+		if err != nil {
+			return err
+		}
+		if len(h) != len(words) {
+			return fmt.Errorf("shard returned %d NN hits for %d keywords", len(h), len(words))
+		}
+		hits[ord] = h
+		return nil
+	})
+	grp.Attr("shards", float64(len(alive)))
+	grp.End()
+
+	failed := make(map[int]bool)
+	for _, ord := range alive {
+		if nnErrs[ord] != nil {
+			failed[ord] = true
+			info.Failed = append(info.Failed, ShardFailure{Shard: ord, Phase: "nn", Err: nnErrs[ord]})
+		}
+	}
+
+	best := make([]NNHit, len(words))
+	bestShard := make([]int, len(words))
+	for _, ord := range alive {
+		if failed[ord] {
+			continue
+		}
+		for i, h := range hits[ord] {
+			if !h.Found {
+				continue
+			}
+			h.Cand.Shard = ord
+			if !best[i].Found || h.Dist < best[i].Dist || (h.Dist == best[i].Dist && ord < bestShard[i]) {
+				best[i], bestShard[i] = h, ord
+			}
+		}
+	}
+	for i := range best {
+		if !best[i].Found {
+			if len(info.Failed) > 0 {
+				// A failed shard may hold the missing keyword; claiming
+				// infeasibility would be a lie.
+				return Answer{Info: info}, r.failError(info)
+			}
+			return Answer{Info: info}, core.ErrInfeasible
+		}
+	}
+	if len(info.Failed) > 0 && r.Degrade == core.DegradeFail {
+		return Answer{Info: info}, r.failError(info)
+	}
+
+	// Phase 3: the gather radius. U = cost(N(q)) upper-bounds the
+	// optimal cost, and every member of an optimal set lies within the
+	// optimal cost of q (DESIGN.md §12), so the disk C(q, U) contains
+	// every possible answer member for all five cost kinds.
+	seeds := make([]Candidate, 0, len(words))
+	seen := make(map[candKey]bool)
+	for _, h := range best {
+		k := candKey{h.Cand.Shard, h.Cand.GID}
+		if !seen[k] {
+			seen[k] = true
+			seeds = append(seeds, h.Cand)
+		}
+	}
+	info.SeedCost = evalCandidates(cost, loc, seeds)
+	info.Radius = info.SeedCost
+
+	// Phase 4: MBR prune — strict inequality keeps boundary ties.
+	var keep []int
+	for _, ord := range alive {
+		if failed[ord] {
+			continue
+		}
+		if r.metas[ord].MBR.MinDist(loc) > info.Radius {
+			info.MBRPruned = append(info.MBRPruned, ord)
+			continue
+		}
+		keep = append(keep, ord)
+	}
+	r.Metrics.pruned(len(info.KeywordPruned), len(info.MBRPruned))
+
+	// Phase 5: gather every relevant object inside the disk from the
+	// surviving shards.
+	collected := make([][]Candidate, len(r.Backends))
+	grp = tr.BeginGroup("shard_collect")
+	colErrs := r.scatter(ctx, "collect", grp, keep, func(c context.Context, ord int) error {
+		cands, err := r.Backends[ord].Collect(c, sq, info.Radius)
+		if err != nil {
+			return err
+		}
+		collected[ord] = cands
+		return nil
+	})
+	grp.Attr("shards", float64(len(keep)))
+	grp.Attr("radius", info.Radius)
+	grp.End()
+
+	for _, ord := range keep {
+		if colErrs[ord] != nil {
+			failed[ord] = true
+			info.Failed = append(info.Failed, ShardFailure{Shard: ord, Phase: "collect", Err: colErrs[ord]})
+		}
+	}
+	if len(info.Failed) > 0 && r.Degrade == core.DegradeFail {
+		return Answer{Info: info}, r.failError(info)
+	}
+
+	// Phase 6: deterministic merge. Collect results shard by shard in
+	// ordinal order, add the NN seeds (kept even when their shard later
+	// failed collect — they are fetched data and preserve coverage), and
+	// sort by (GID, shard ordinal) so the pool — and therefore the pool
+	// engine's canonical answer — is independent of arrival order.
+	pool := seeds
+	for _, ord := range keep {
+		if failed[ord] {
+			continue
+		}
+		for _, c := range collected[ord] {
+			c.Shard = ord
+			k := candKey{ord, c.GID}
+			if !seen[k] {
+				seen[k] = true
+				pool = append(pool, c)
+			}
+		}
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].GID != pool[j].GID {
+			return pool[i].GID < pool[j].GID
+		}
+		return pool[i].Shard < pool[j].Shard
+	})
+	info.PoolSize = len(pool)
+	r.Metrics.pool(len(pool))
+	gatherElapsed := time.Since(gatherStart)
+
+	// Phase 7: solve over the pool with a per-query engine. The pool
+	// contains an optimal set, so exact methods return the global
+	// optimum; approximation methods keep their ratio (the pool is a
+	// feasible dataset containing N(q)).
+	b := dataset.NewBuilder("scatter-pool")
+	for _, c := range pool {
+		b.Add(c.Loc, c.Words...)
+	}
+	ds := b.Build()
+	qids := make([]kwds.ID, len(words))
+	for i, w := range words {
+		id, ok := ds.Vocab.Lookup(w)
+		if !ok {
+			// Unreachable: every word is covered by a pooled NN seed.
+			return Answer{Info: info}, fmt.Errorf("shard: keyword %q lost during gather", w)
+		}
+		qids[i] = id
+	}
+	eng := core.NewEngine(ds, r.TreeFanout)
+	eng.Parallelism = r.Workers
+	eng.NodeBudget = r.NodeBudget
+	eng.Degrade = r.Degrade
+	res, err := eng.SolveCtx(ctx, core.Query{Loc: loc, Keywords: kwds.NewSet(qids...)}, cost, method)
+	if err != nil {
+		return Answer{Info: info}, err
+	}
+	res.Stats.Phases.Materialize += gatherElapsed
+
+	// Map pool-local ids back: Builder.Add assigned local id i to
+	// pool[i], and pool is (GID, shard)-sorted, so the ascending local
+	// ids of the canonical answer map to sorted members directly.
+	members := make([]Candidate, len(res.Set))
+	gids := make([]dataset.ObjectID, len(res.Set))
+	for i, lid := range res.Set {
+		members[i] = pool[lid]
+		gids[i] = pool[lid].GID
+	}
+	res.Set = gids
+	if len(info.Failed) > 0 {
+		res.Degraded = true
+		if res.Stats.DegradeReason == "" {
+			res.Stats.DegradeReason = core.DegradeReasonShard
+		}
+	}
+	if res.Degraded {
+		r.Metrics.degrade()
+	}
+	return Answer{Result: res, Members: members, Info: info}, nil
+}
+
+// failError returns the ShardError a failed routing surfaces: the first
+// failure in shard-ordinal order, so the error is deterministic for a
+// given failure set.
+func (r *Router) failError(info RouteInfo) error {
+	f := info.Failed[0]
+	for _, g := range info.Failed[1:] {
+		if g.Shard < f.Shard {
+			f = g
+		}
+	}
+	if se, ok := f.Err.(*ShardError); ok {
+		return se
+	}
+	return &ShardError{Name: r.Backends[f.Shard].Name(), Shard: f.Shard, Phase: f.Phase, Err: f.Err}
+}

@@ -1,0 +1,271 @@
+// Package shard scales CoSKQ serving horizontally: a Partitioner splits a
+// dataset into spatial shards, each served by its own engine (in-process
+// or a remote coskq-server), and a Router answers queries by distance-
+// bounded scatter-gather.
+//
+// The correctness core is the gather bound. For every cost function the
+// engine supports, each member o of an optimal set S* satisfies
+// d(o, q) ≤ cost(S*) ≤ U, where U is the cost of the nearest-neighbor
+// set N(q) (DESIGN.md §12 derives the per-cost inequalities). The router
+// therefore (1) merges per-keyword nearest neighbors across shards into
+// N(q) and its cost U, (2) prunes shards whose keyword summary cannot
+// intersect the query or whose MBR lies entirely outside the disk
+// C(q, U), (3) gathers every relevant object within U from the surviving
+// shards, and (4) runs the requested algorithm on the gathered pool.
+// The optimum over the pool equals the global optimum, so exact methods
+// return exactly the single-engine answer, and approximation methods
+// keep their proven ratios (the pool is itself a feasible dataset).
+package shard
+
+import (
+	"context"
+	"encoding/hex"
+	"fmt"
+
+	"coskq/internal/core"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+)
+
+// SummaryWords is the fixed width of a keyword Summary in 64-bit words
+// (4096 bits). Fixed width keeps summaries comparable across shards with
+// different vocabularies — the wire form of the HTTP scatter-gather mode.
+const SummaryWords = 64
+
+// Summary is a Bloom-style one-hash bitset over a shard's keyword
+// strings. Hashing the strings (not vocabulary ids) keeps summaries
+// consistent across shards that interned their vocabularies
+// independently. A set bit may be a false positive — the router then
+// merely skips a prune — but a clear bit proves the word absent, so
+// pruning on it is always safe.
+type Summary [SummaryWords]uint64
+
+func summaryBit(word string) (int, uint64) {
+	// FNV-1a, inlined to avoid per-word allocations.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(word); i++ {
+		h ^= uint64(word[i])
+		h *= 1099511628211
+	}
+	bit := h % (SummaryWords * 64)
+	return int(bit / 64), 1 << (bit % 64)
+}
+
+// Add marks word as present.
+func (s *Summary) Add(word string) {
+	w, m := summaryBit(word)
+	s[w] |= m
+}
+
+// Might reports whether word may be present (false positives possible,
+// false negatives not).
+func (s *Summary) Might(word string) bool {
+	w, m := summaryBit(word)
+	return s[w]&m != 0
+}
+
+// MightAny reports whether any of words may be present.
+func (s *Summary) MightAny(words []string) bool {
+	for _, w := range words {
+		if s.Might(w) {
+			return true
+		}
+	}
+	return false
+}
+
+// Encode returns the hex wire form of the summary.
+func (s *Summary) Encode() string {
+	var buf [SummaryWords * 8]byte
+	for i, w := range s {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	return hex.EncodeToString(buf[:])
+}
+
+// DecodeSummary parses the hex wire form produced by Encode.
+func DecodeSummary(h string) (Summary, error) {
+	var s Summary
+	raw, err := hex.DecodeString(h)
+	if err != nil {
+		return s, fmt.Errorf("shard: decode summary: %w", err)
+	}
+	if len(raw) != SummaryWords*8 {
+		return s, fmt.Errorf("shard: decode summary: %d bytes, want %d", len(raw), SummaryWords*8)
+	}
+	for i := range s {
+		var w uint64
+		for j := 7; j >= 0; j-- {
+			w = w<<8 | uint64(raw[i*8+j])
+		}
+		s[i] = w
+	}
+	return s, nil
+}
+
+// SummaryOf builds the keyword summary of a dataset.
+func SummaryOf(ds *dataset.Dataset) Summary {
+	var s Summary
+	for i := range ds.Objects {
+		for _, id := range ds.Objects[i].Keywords {
+			s.Add(ds.Vocab.Word(id))
+		}
+	}
+	return s
+}
+
+// Meta is a shard's routing summary: enough for the router to prune the
+// shard without calling it.
+type Meta struct {
+	Name    string
+	Objects int
+	MBR     geo.Rect
+	Summary Summary
+}
+
+// ShardQuery is the query a Backend call receives. Keywords travel as
+// strings so shards with independently interned vocabularies (the HTTP
+// mode) resolve them against their own vocabulary; unknown words are
+// simply not found, never an error.
+type ShardQuery struct {
+	Loc   geo.Point
+	Words []string
+}
+
+// Candidate is one object surfaced by a shard. GID is the object's
+// global id for in-process backends (the partitioner records the
+// mapping); HTTP backends report shard-local ids, unique only within
+// (Shard, GID). Words carries the object's full keyword set as strings.
+type Candidate struct {
+	GID   dataset.ObjectID
+	Shard int
+	Loc   geo.Point
+	Words []string
+}
+
+// NNHit is a per-query-keyword nearest-neighbor answer from one shard.
+// A missing keyword leaves Found false.
+type NNHit struct {
+	Found bool
+	Dist  float64
+	Cand  Candidate
+}
+
+// Backend is one shard as the Router sees it: a routing summary, a
+// per-keyword nearest-neighbor probe, and a bounded relevant-object
+// gather. Implementations must be safe for concurrent calls.
+type Backend interface {
+	// Name identifies the shard in errors and metrics labels.
+	Name() string
+	// Meta returns the shard's routing summary.
+	Meta(ctx context.Context) (Meta, error)
+	// NN returns, for each query word, the shard's nearest object
+	// containing it. The returned slice has len(q.Words) entries.
+	NN(ctx context.Context, q ShardQuery) ([]NNHit, error)
+	// Collect returns every object within radius of q.Loc sharing at
+	// least one keyword with q.Words.
+	Collect(ctx context.Context, q ShardQuery, radius float64) ([]Candidate, error)
+}
+
+// EngineBackend serves one in-process shard from a core.Engine built
+// over the shard's dataset. The zero-object shard is represented with a
+// nil engine and answers every call with empty results.
+type EngineBackend struct {
+	Eng *core.Engine
+	// GIDs maps the shard dataset's dense local object ids to global ids
+	// in the original dataset; nil means the identity mapping.
+	GIDs []dataset.ObjectID
+
+	name string
+	meta Meta
+}
+
+// NewEngineBackend indexes sh (with the given IR-tree fanout, 0 for
+// default) and returns its backend. Empty shards get no engine.
+func NewEngineBackend(name string, sh Shard, fanout int) *EngineBackend {
+	b := &EngineBackend{GIDs: sh.GlobalIDs, name: name}
+	b.meta = Meta{Name: name, Objects: sh.DS.Len(), MBR: sh.DS.MBR(), Summary: SummaryOf(sh.DS)}
+	if sh.DS.Len() > 0 {
+		b.Eng = core.NewEngine(sh.DS, fanout)
+	}
+	return b
+}
+
+// WrapEngine wraps an already-built engine as a shard backend with the
+// identity id mapping — how a coskq-server exposes its own dataset as
+// one shard of a fleet.
+func WrapEngine(name string, eng *core.Engine) *EngineBackend {
+	b := &EngineBackend{Eng: eng, name: name}
+	b.meta = Meta{Name: name, Objects: eng.DS.Len(), MBR: eng.DS.MBR(), Summary: SummaryOf(eng.DS)}
+	if eng.DS.Len() == 0 {
+		b.Eng = nil
+	}
+	return b
+}
+
+// Name implements Backend.
+func (b *EngineBackend) Name() string { return b.name }
+
+// Meta implements Backend.
+func (b *EngineBackend) Meta(ctx context.Context) (Meta, error) { return b.meta, nil }
+
+func (b *EngineBackend) global(id dataset.ObjectID) dataset.ObjectID {
+	if b.GIDs == nil {
+		return id
+	}
+	return b.GIDs[id]
+}
+
+func (b *EngineBackend) candidate(o *dataset.Object) Candidate {
+	words := make([]string, o.Keywords.Len())
+	for i, kid := range o.Keywords {
+		words[i] = b.Eng.DS.Vocab.Word(kid)
+	}
+	return Candidate{GID: b.global(o.ID), Loc: o.Loc, Words: words}
+}
+
+// NN implements Backend.
+func (b *EngineBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
+	hits := make([]NNHit, len(q.Words))
+	if b.Eng == nil {
+		return hits, nil
+	}
+	for i, w := range q.Words {
+		kw, ok := b.Eng.DS.Vocab.Lookup(w)
+		if !ok {
+			continue
+		}
+		oid, d, ok := b.Eng.Tree.NN(q.Loc, kw)
+		if !ok {
+			continue
+		}
+		hits[i] = NNHit{Found: true, Dist: d, Cand: b.candidate(b.Eng.DS.Object(oid))}
+	}
+	return hits, nil
+}
+
+// Collect implements Backend.
+func (b *EngineBackend) Collect(ctx context.Context, q ShardQuery, radius float64) ([]Candidate, error) {
+	if b.Eng == nil {
+		return nil, nil
+	}
+	ids := make([]kwds.ID, 0, len(q.Words))
+	for _, w := range q.Words {
+		if kw, ok := b.Eng.DS.Vocab.Lookup(w); ok {
+			ids = append(ids, kw)
+		}
+	}
+	if len(ids) == 0 {
+		return nil, nil
+	}
+	qi := kwds.NewQueryIndex(kwds.NewSet(ids...))
+	var out []Candidate
+	b.Eng.Tree.RelevantInDisk(geo.Circle{C: q.Loc, R: radius}, qi, func(o *dataset.Object, _ kwds.Mask) bool {
+		out = append(out, b.candidate(o))
+		return true
+	})
+	return out, nil
+}
