@@ -1,5 +1,5 @@
 // Command coskq-bench regenerates the paper's evaluation: every table and
-// figure has an experiment id (T1, E1–E8; see DESIGN.md §5) whose rows are
+// figure has an experiment id (T1, E1–E8, X1, X2; see DESIGN.md §5) whose rows are
 // printed in the paper's layout (mean running time per algorithm plus
 // avg/max approximation ratios).
 //
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp         = flag.String("exp", "all", "experiment id: T1, E1..E8 or all")
+		exp         = flag.String("exp", "all", "experiment id: T1, E1..E8, X1, X2 or all")
 		queries     = flag.Int("queries", 100, "queries per parameter setting (paper: 500)")
 		seed        = flag.Int64("seed", 1, "workload seed")
 		scale       = flag.Float64("scale", 0.02, "GN/Web profile scale factor in (0,1]")

@@ -21,6 +21,13 @@
 //	    (every coskq-server exposes the /shard/* data plane); -data is
 //	    not needed.
 //
+// Distributed observability (DESIGN.md §13): the coordinator propagates
+// its request id and a W3C-style traceparent on every shard call, so
+// /query?explain=1 returns one stitched trace covering coordinator and
+// shards, and GET /metrics?federate=1 on the coordinator merges every
+// peer's /metrics into one page with per-shard labels
+// ([-federate-timeout 2s] bounds the peer fan-out).
+//
 // Endpoints:
 //
 //	GET /stats
@@ -75,6 +82,7 @@ func main() {
 		partition = flag.String("partition", "grid", "shard partitioning strategy: grid or subtree")
 		peers     = flag.String("peers", "", "comma-separated peer shard server URLs; serve as a scatter-gather coordinator (no -data needed)")
 		shardTO   = flag.Duration("shard-timeout", 0, "per-shard call deadline in scatter-gather modes (0 = bounded by -timeout)")
+		fedTO     = flag.Duration("federate-timeout", 0, "peer fan-out deadline for coordinator /metrics?federate=1 scrapes (0 = 2s default)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -99,6 +107,7 @@ func main() {
 		QueueTimeout:        *queueWait,
 		Degrade:             policy,
 		NodeBudgetPerSecond: *budgetPS,
+		FederateTimeout:     *fedTO,
 	}
 
 	var handler http.Handler

@@ -21,6 +21,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"coskq/internal/trace"
 )
 
 // Default retry tuning, used when the corresponding Client field is zero.
@@ -155,6 +157,21 @@ func retryableStatus(status int) bool {
 	return false
 }
 
+// injectContextHeaders forwards the calling request's observability
+// context on an outbound call: the request id assigned by the server
+// middleware (X-Request-Id, so coordinator and shard log lines join on
+// one id) and, when the caller is tracing, the traceparent-shaped span
+// context that makes the shard return a trace fragment. Both probes are
+// plain context lookups — free when neither is set.
+func injectContextHeaders(ctx context.Context, req *http.Request) {
+	if id := trace.RequestIDFromContext(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	if sc, ok := trace.SpanContextFromContext(ctx); ok && sc.Valid() {
+		req.Header.Set("Traceparent", sc.Traceparent())
+	}
+}
+
 // getJSON runs the retry loop for one logical request.
 func (c *Client) getJSON(ctx context.Context, path string, v url.Values, out any) error {
 	httpc := c.HTTP
@@ -175,6 +192,7 @@ func (c *Client) getJSON(ctx context.Context, path string, v url.Values, out any
 		if err != nil {
 			return err
 		}
+		injectContextHeaders(ctx, req)
 		resp, err := httpc.Do(req)
 		switch {
 		case err != nil:
@@ -210,6 +228,72 @@ func (c *Client) getJSON(ctx context.Context, path string, v url.Values, out any
 		}
 		if err := c.wait(ctx, c.backoff(attempt, lastErr)); err != nil {
 			return err
+		}
+	}
+}
+
+// MaxMetricsPage bounds how much of a peer's /metrics exposition the
+// federation fan-out will read; a runaway or hostile peer cannot feed
+// the coordinator an unbounded page.
+const MaxMetricsPage = 4 << 20
+
+// MetricsText fetches the server's /metrics text exposition — the
+// per-peer leg of the coordinator's federated /metrics?federate=1 page.
+// It applies the same retry policy as the query endpoints and caps the
+// body at MaxMetricsPage.
+func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = DefaultMaxRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	u := strings.TrimSuffix(c.Base, "/") + "/metrics"
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		injectContextHeaders(ctx, req)
+		resp, err := httpc.Do(req)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			lastErr = err
+		case resp.StatusCode == http.StatusOK:
+			body, err := io.ReadAll(io.LimitReader(resp.Body, MaxMetricsPage+1))
+			resp.Body.Close()
+			if err != nil {
+				return nil, err
+			}
+			if len(body) > MaxMetricsPage {
+				return nil, fmt.Errorf("coskq-server: /metrics page exceeds %d bytes", MaxMetricsPage)
+			}
+			return body, nil
+		default:
+			apiErr := &APIError{Status: resp.StatusCode, Attempts: attempt + 1}
+			if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				apiErr.RetryAfter = ra
+			}
+			resp.Body.Close()
+			if !retryableStatus(resp.StatusCode) {
+				return nil, apiErr
+			}
+			lastErr = apiErr
+		}
+		if attempt >= retries {
+			return nil, lastErr
+		}
+		if err := c.wait(ctx, c.backoff(attempt, lastErr)); err != nil {
+			return nil, err
 		}
 	}
 }

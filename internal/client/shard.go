@@ -2,6 +2,7 @@ package client
 
 import (
 	"context"
+	"encoding/json"
 	"net/url"
 	"strconv"
 	"strings"
@@ -37,9 +38,14 @@ type ShardNNHit struct {
 	Keywords []string `json:"keywords"`
 }
 
-// ShardNNResponse mirrors the server's /shard/nn body.
+// ShardNNResponse mirrors the server's /shard/nn body. Trace is the
+// shard's trace fragment, present only when the request carried a
+// traceparent header; it stays raw here — the fragment is untrusted
+// remote input that trace.DecodeFragment validates under hard limits
+// before anything is stitched.
 type ShardNNResponse struct {
-	Hits []ShardNNHit `json:"hits"`
+	Hits  []ShardNNHit    `json:"hits"`
+	Trace json.RawMessage `json:"trace,omitempty"`
 }
 
 // ShardObject mirrors one entry of the server's /shard/collect body.
@@ -50,9 +56,11 @@ type ShardObject struct {
 	Keywords []string `json:"keywords"`
 }
 
-// ShardCollectResponse mirrors the server's /shard/collect body.
+// ShardCollectResponse mirrors the server's /shard/collect body; Trace
+// is the optional fragment, as on ShardNNResponse.
 type ShardCollectResponse struct {
-	Objects []ShardObject `json:"objects"`
+	Objects []ShardObject   `json:"objects"`
+	Trace   json.RawMessage `json:"trace,omitempty"`
 }
 
 func shardValues(x, y float64, kws []string) url.Values {

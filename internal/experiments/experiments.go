@@ -22,6 +22,7 @@ import (
 	"coskq/internal/core"
 	"coskq/internal/datagen"
 	"coskq/internal/dataset"
+	"coskq/internal/shard"
 	"coskq/internal/stats"
 	"coskq/internal/trace"
 )
@@ -420,9 +421,75 @@ func X1(opt Options) {
 	}
 }
 
+// X2 measures the distributed-observability overhead on the
+// scatter-gather path (DESIGN.md §13): the same routed workload with
+// tracing off (untraced context, zero-alloc serve path) vs. on (per-
+// query trace + span context, fragments stitched per shard call). The
+// router is in-process — the delta is pure instrumentation and stitch
+// cost, with no network noise; coskq-bench -exp X2 records it for
+// BENCH_shard.json.
+func X2(opt Options) {
+	opt = opt.withDefaults()
+	header(opt.Out, "X2", fmt.Sprintf("scatter-gather trace overhead, Hotel, 4 subtree shards (%d queries/setting)", opt.Queries))
+	ds := datagen.Generate(datagen.ProfileHotel(opt.Seed))
+	shards, err := shard.Subtree().Partition(ds, 4)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: X2 partition: %v", err))
+	}
+	backends := make([]shard.Backend, len(shards))
+	for i, sh := range shards {
+		backends[i] = shard.NewEngineBackend(fmt.Sprintf("shard-%d", i), sh, 0)
+	}
+	rt := &shard.Router{Backends: backends}
+	eng := opt.newEngine(ds) // query generation only
+
+	fmt.Fprintf(opt.Out, "%-8s %14s %14s %10s %12s\n",
+		"|q.psi|", "trace-off", "trace-on", "overhead", "spans/query")
+	for _, k := range []int{3, 6, 9} {
+		queries := genQueries(eng, opt.Queries, k, opt.Seed+int64(k)*17)
+		off, on := stats.NewAcc(false), stats.NewAcc(false)
+		totalSpans := 0
+		for _, q := range queries {
+			words := make([]string, 0, q.Keywords.Len())
+			for _, id := range q.Keywords {
+				words = append(words, ds.Vocab.Word(id))
+			}
+			start := time.Now()
+			_, errOff := rt.RouteWords(context.Background(), q.Loc, words, core.MaxSum, core.OwnerExact)
+			elapsedOff := time.Since(start)
+
+			tr := trace.New("scatter")
+			ctx := trace.NewContext(context.Background(), tr)
+			ctx = trace.ContextWithSpanContext(ctx, trace.NewSpanContext())
+			start = time.Now()
+			_, errOn := rt.RouteWords(ctx, q.Loc, words, core.MaxSum, core.OwnerExact)
+			elapsedOn := time.Since(start)
+			tr.Finish()
+			if errOff == core.ErrInfeasible && errOn == core.ErrInfeasible {
+				continue
+			}
+			if errOff != nil || errOn != nil {
+				panic(fmt.Sprintf("experiments: X2 route failed: off=%v on=%v", errOff, errOn))
+			}
+			off.Add(elapsedOff.Seconds())
+			on.Add(elapsedOn.Seconds())
+			totalSpans += tr.Export().SpanCount()
+		}
+		overhead, spans := "-", "-"
+		if off.N() > 0 && off.Mean() > 0 {
+			overhead = fmt.Sprintf("%+.1f%%", 100*(on.Mean()-off.Mean())/off.Mean())
+			spans = fmt.Sprintf("%.1f", float64(totalSpans)/float64(off.N()))
+		}
+		fmt.Fprintf(opt.Out, "%-8d %14s %14s %10s %12s\n", k,
+			stats.FmtDuration(time.Duration(off.Mean()*float64(time.Second))),
+			stats.FmtDuration(time.Duration(on.Mean()*float64(time.Second))),
+			overhead, spans)
+	}
+}
+
 // All runs every experiment in order.
 func All(opt Options) {
-	for _, f := range []func(Options){T1, E1, E2, E3, E4, E5, E6, E7, E8, X1} {
+	for _, f := range []func(Options){T1, E1, E2, E3, E4, E5, E6, E7, E8, X1, X2} {
 		f(opt)
 	}
 }
@@ -450,10 +517,12 @@ func Run(id string, opt Options) error {
 		E8(opt)
 	case "X1", "x1":
 		X1(opt)
+	case "X2", "x2":
+		X2(opt)
 	case "all", "ALL":
 		All(opt)
 	default:
-		return fmt.Errorf("experiments: unknown experiment %q (want T1, E1..E8, X1 or all)", id)
+		return fmt.Errorf("experiments: unknown experiment %q (want T1, E1..E8, X1, X2 or all)", id)
 	}
 	return nil
 }

@@ -150,13 +150,13 @@ func TestAllExperimentsTinyScale(t *testing.T) {
 	opt := Options{Queries: 2, Seed: 3, Scale: 0.0005, NodeBudget: 100_000, Out: &buf}
 	// Scalability sweeps are separately shrunk via their own sizes; patch
 	// by running only the cheap experiments here plus one sweep setting.
-	for _, id := range []string{"T1", "E1", "E2", "X1"} {
+	for _, id := range []string{"T1", "E1", "E2", "X1", "X2"} {
 		if err := Run(id, opt); err != nil {
 			t.Fatalf("%s: %v", id, err)
 		}
 	}
 	out := buf.String()
-	for _, want := range []string{"T1", "E1", "E2", "X1", "%optimal"} {
+	for _, want := range []string{"T1", "E1", "E2", "X1", "X2", "%optimal", "trace-off"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q", want)
 		}

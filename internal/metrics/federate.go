@@ -1,0 +1,259 @@
+// Metrics federation: merging the text expositions of several servers
+// into one cluster-wide page. A scatter-gather coordinator serves
+// GET /metrics?federate=1 by fetching each shard server's /metrics and
+// merging it with its own — every peer sample gains a shard="name"
+// label, families with the same name collapse under one # TYPE line,
+// and per-source sample order is preserved so histogram bucket series
+// stay in ascending-le order.
+//
+// Peer pages are untrusted remote input: the merge is a line-oriented
+// parse that ignores anything it does not recognize, so a malformed or
+// hostile page degrades to fewer samples, never a coordinator error.
+package metrics
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// MergePage is one source of a federated exposition. Source "" is the
+// local page: its samples pass through unlabeled. Any other Source is
+// injected as a shard label on every sample line. A page fetched with
+// an error contributes a comment line instead of samples.
+type MergePage struct {
+	Source string
+	Text   []byte
+	Err    error
+}
+
+// family accumulates one metric family across pages.
+type family struct {
+	kind  string // "counter" | "gauge" | "histogram" | "untyped"
+	lines []string
+}
+
+// MergeText writes the federated exposition of pages to w. Families are
+// sorted by name; within a family, samples appear in page order (pages
+// slice order), each page's internal order preserved. The first # TYPE
+// seen for a family wins; samples never seen under a TYPE line in their
+// page are grouped under their own name with type untyped.
+func MergeText(w io.Writer, pages []MergePage) error {
+	fams := make(map[string]*family)
+	var order []string
+	fam := func(name string) *family {
+		f := fams[name]
+		if f == nil {
+			f = &family{}
+			fams[name] = f
+			order = append(order, name)
+		}
+		return f
+	}
+	var comments []string
+	for _, p := range pages {
+		if p.Err != nil {
+			comments = append(comments, fmt.Sprintf("# federate: source %q failed: %v", p.Source, p.Err))
+			continue
+		}
+		mergePage(fam, p)
+	}
+	sort.Strings(order)
+	for _, c := range comments {
+		if _, err := fmt.Fprintln(w, c); err != nil {
+			return err
+		}
+	}
+	for _, name := range order {
+		f := fams[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind); err != nil {
+			return err
+		}
+		for _, ln := range f.lines {
+			if _, err := fmt.Fprintln(w, ln); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// mergePage folds one source page into the family map. Samples attach
+// to the family declared by the most recent # TYPE line of their page —
+// the grouping the exposition format promises — and fall back to their
+// own base name (type untyped) when a page leads with bare samples.
+func mergePage(fam func(string) *family, p MergePage) {
+	sc := bufio.NewScanner(bytes.NewReader(p.Text))
+	sc.Buffer(make([]byte, 0, 4096), 1<<20)
+	curName := ""
+	for sc.Scan() {
+		line := strings.TrimRight(sc.Text(), " \t\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			name, kind, ok := parseTypeLine(line)
+			if !ok {
+				continue // HELP and arbitrary comments are dropped
+			}
+			curName = name
+			f := fam(name)
+			if f.kind == "" {
+				f.kind = kind
+			}
+			continue
+		}
+		sample, ok := labelSample(line, p.Source)
+		if !ok {
+			continue
+		}
+		name := curName
+		if name == "" || !sampleBelongs(line, name) {
+			name = sampleFamily(line)
+			if name == "" {
+				continue
+			}
+		}
+		f := fam(name)
+		if f.kind == "" {
+			f.kind = "untyped"
+		}
+		f.lines = append(f.lines, sample)
+	}
+}
+
+// parseTypeLine parses `# TYPE <name> <kind>`.
+func parseTypeLine(line string) (name, kind string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 || fields[0] != "#" || fields[1] != "TYPE" {
+		return "", "", false
+	}
+	if !validMetricName(fields[2]) {
+		return "", "", false
+	}
+	switch fields[3] {
+	case "counter", "gauge", "histogram", "summary", "untyped":
+		return fields[2], fields[3], true
+	}
+	return "", "", false
+}
+
+// sampleBelongs reports whether a sample line's metric belongs to the
+// family name: equal to it, or one of a histogram/summary family's
+// derived series (_bucket/_sum/_count suffixes).
+func sampleBelongs(line, name string) bool {
+	m := sampleMetric(line)
+	if m == name {
+		return true
+	}
+	if rest, ok := strings.CutPrefix(m, name); ok {
+		switch rest {
+		case "_bucket", "_sum", "_count":
+			return true
+		}
+	}
+	return false
+}
+
+// sampleMetric returns the metric name of a sample line (up to the
+// first '{' or space), or "" when the line does not look like one.
+func sampleMetric(line string) string {
+	end := strings.IndexAny(line, "{ ")
+	if end <= 0 {
+		return ""
+	}
+	name := line[:end]
+	if !validMetricName(name) {
+		return ""
+	}
+	return name
+}
+
+// sampleFamily maps an orphan sample line onto a family name, folding
+// histogram-derived series back onto their base.
+func sampleFamily(line string) string {
+	m := sampleMetric(line)
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(m, suf); ok && base != "" {
+			return base
+		}
+	}
+	return m
+}
+
+// labelSample rewrites one sample line, injecting `shard="source"` as
+// the first label. Source "" passes the line through. Lines that do not
+// parse as `name[{labels}] value [timestamp]` report !ok and are
+// skipped — a peer page is telemetry, not data, so a hostile line
+// degrades to absence.
+func labelSample(line, source string) (string, bool) {
+	m := sampleMetric(line)
+	if m == "" {
+		return "", false
+	}
+	rest := line[len(m):]
+	labels := ""
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return "", false
+		}
+		labels = rest[1:end]
+		rest = rest[end+1:]
+	}
+	if !validSampleValue(rest) {
+		return "", false
+	}
+	if source == "" {
+		return line, true
+	}
+	label := fmt.Sprintf("shard=%q", source)
+	if labels != "" {
+		label += "," + labels
+	}
+	return m + "{" + label + "}" + rest, true
+}
+
+// validSampleValue checks the value-and-optional-timestamp tail of a
+// sample line: a float (Inf/NaN included, as the format allows) plus an
+// optional integer millisecond timestamp.
+func validSampleValue(rest string) bool {
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return false
+	}
+	if _, err := strconv.ParseFloat(fields[0], 64); err != nil {
+		return false
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// validMetricName checks the Prometheus metric name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

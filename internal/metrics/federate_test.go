@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// mergeToString runs MergeText over pages and returns the page.
+func mergeToString(t *testing.T, pages []MergePage) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := MergeText(&buf, pages); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestMergeTextLabelsAndGroups: local samples pass through unlabeled,
+// peer samples gain shard labels, and same-named families collapse
+// under a single # TYPE line.
+func TestMergeTextLabelsAndGroups(t *testing.T) {
+	local := "# TYPE coskq_queries_total counter\ncoskq_queries_total 5\n"
+	peer := "# TYPE coskq_queries_total counter\ncoskq_queries_total 7\n" +
+		"# TYPE coskq_up gauge\ncoskq_up 1\n"
+	out := mergeToString(t, []MergePage{
+		{Source: "", Text: []byte(local)},
+		{Source: "http://s0", Text: []byte(peer)},
+	})
+	if strings.Count(out, "# TYPE coskq_queries_total counter") != 1 {
+		t.Fatalf("family not collapsed under one TYPE line:\n%s", out)
+	}
+	for _, want := range []string{
+		"coskq_queries_total 5\n",
+		"coskq_queries_total{shard=\"http://s0\"} 7\n",
+		"coskq_up{shard=\"http://s0\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Local (unlabeled) line comes before the peer's within the family.
+	if strings.Index(out, "coskq_queries_total 5") > strings.Index(out, `shard="http://s0"} 7`) {
+		t.Fatalf("page order not preserved:\n%s", out)
+	}
+}
+
+// TestMergeTextExistingLabels: a sample already carrying labels gets the
+// shard label prepended, not a second brace block.
+func TestMergeTextExistingLabels(t *testing.T) {
+	peer := "# TYPE coskq_http_requests_total counter\n" +
+		"coskq_http_requests_total{path=\"/query\",status=\"200\"} 3\n"
+	out := mergeToString(t, []MergePage{{Source: "s1", Text: []byte(peer)}})
+	want := `coskq_http_requests_total{shard="s1",path="/query",status="200"} 3`
+	if !strings.Contains(out, want) {
+		t.Fatalf("want %q in:\n%s", want, out)
+	}
+}
+
+// TestMergeTextHistogram: a histogram family's derived _bucket/_sum/
+// _count series stay with their family and keep ascending-le order.
+func TestMergeTextHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("coskq_lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(5)
+	var page bytes.Buffer
+	reg.WriteText(&page)
+
+	out := mergeToString(t, []MergePage{{Source: "s2", Text: page.Bytes()}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "# TYPE coskq_lat_seconds histogram" {
+		t.Fatalf("histogram TYPE line lost: %q", lines[0])
+	}
+	wantOrder := []string{
+		`coskq_lat_seconds_bucket{shard="s2",le="0.1"} 1`,
+		`coskq_lat_seconds_bucket{shard="s2",le="1"} 1`,
+		`coskq_lat_seconds_bucket{shard="s2",le="+Inf"} 2`,
+		`coskq_lat_seconds_sum{shard="s2"} 5.05`,
+		`coskq_lat_seconds_count{shard="s2"} 2`,
+	}
+	if len(lines) != 1+len(wantOrder) {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	for i, want := range wantOrder {
+		if lines[1+i] != want {
+			t.Fatalf("line %d = %q, want %q", 1+i, lines[1+i], want)
+		}
+	}
+}
+
+// TestMergeTextFailedPeer: a failed fetch becomes a comment line; the
+// merge itself never errors.
+func TestMergeTextFailedPeer(t *testing.T) {
+	out := mergeToString(t, []MergePage{
+		{Source: "", Text: []byte("# TYPE a counter\na 1\n")},
+		{Source: "dead", Err: errors.New("connection refused")},
+	})
+	if !strings.Contains(out, `# federate: source "dead" failed: connection refused`) {
+		t.Fatalf("failed peer not noted:\n%s", out)
+	}
+	if !strings.Contains(out, "a 1\n") {
+		t.Fatalf("local page lost:\n%s", out)
+	}
+}
+
+// TestMergeTextHostilePage: garbage, oversized label-less lines, HELP
+// comments, and samples with no TYPE are tolerated — unparseable lines
+// vanish, orphan samples fall back to their own family as untyped.
+func TestMergeTextHostilePage(t *testing.T) {
+	hostile := strings.Join([]string{
+		"complete garbage !!!",
+		"{noname} 5",
+		"# HELP something human text",
+		"# TYPE malformed",
+		"orphan_total 9",
+		"evil{unclosed 3",
+		"", // blank
+	}, "\n")
+	out := mergeToString(t, []MergePage{{Source: "s3", Text: []byte(hostile)}})
+	if !strings.Contains(out, "# TYPE orphan_total untyped\n") {
+		t.Fatalf("orphan sample not grouped as untyped:\n%s", out)
+	}
+	if !strings.Contains(out, `orphan_total{shard="s3"} 9`) {
+		t.Fatalf("orphan sample lost:\n%s", out)
+	}
+	for _, gone := range []string{"garbage", "noname", "HELP", "evil"} {
+		if strings.Contains(out, gone) {
+			t.Fatalf("hostile line %q survived:\n%s", gone, out)
+		}
+	}
+}
+
+// TestMergeTextDeterministic: families are emitted in sorted order, so
+// two merges of the same pages are byte-identical.
+func TestMergeTextDeterministic(t *testing.T) {
+	pages := []MergePage{
+		{Source: "", Text: []byte("# TYPE z_total counter\nz_total 1\n# TYPE a_total counter\na_total 2\n")},
+		{Source: "p", Text: []byte("# TYPE m_total counter\nm_total 3\n")},
+	}
+	first := mergeToString(t, pages)
+	for i := 0; i < 5; i++ {
+		if got := mergeToString(t, pages); got != first {
+			t.Fatalf("merge not deterministic:\n%s\nvs\n%s", first, got)
+		}
+	}
+	za := strings.Index(first, "# TYPE a_total")
+	zm := strings.Index(first, "# TYPE m_total")
+	zz := strings.Index(first, "# TYPE z_total")
+	if !(za < zm && zm < zz) {
+		t.Fatalf("families not sorted:\n%s", first)
+	}
+}

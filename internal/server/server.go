@@ -94,6 +94,11 @@ type Options struct {
 	// its best-so-far feasible set — marked by the X-Coskq-Degraded
 	// header and the response's degraded fields — instead of an error.
 	Degrade core.DegradePolicy
+	// FederateTimeout bounds the whole peer fan-out of a federated
+	// metrics scrape (GET /metrics?federate=1 on a scatter-gather
+	// coordinator). Zero means DefaultFederateTimeout. Irrelevant for
+	// the single-engine server, whose /metrics is always local.
+	FederateTimeout time.Duration
 	// NodeBudgetPerSecond derives a per-request node budget from the
 	// request deadline: budget = rate × seconds remaining at solve
 	// start. It converts the wall-clock deadline into a deterministic
@@ -236,14 +241,23 @@ func requestIDFrom(ctx context.Context) string {
 	return id
 }
 
-// requestIDMiddleware assigns each request a unique id, echoes it in the
+// requestIDMiddleware assigns each request an id, echoes it in the
 // X-Request-Id response header, and carries it in the request context so
-// log lines and slow-log entries correlate with responses.
+// log lines and slow-log entries correlate with responses. A valid
+// inbound X-Request-Id is adopted instead of minted — the coordinator's
+// id then appears on every shard server's log line of one distributed
+// query — and the id is also placed in the trace package's carrier so
+// outbound HTTP calls made under this request forward it.
 func (s *server) requestIDMiddleware(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("%s-%d", s.idToken, s.idCounter.Add(1))
+		id := r.Header.Get("X-Request-Id")
+		if !trace.ValidRequestID(id) {
+			id = fmt.Sprintf("%s-%d", s.idToken, s.idCounter.Add(1))
+		}
 		w.Header().Set("X-Request-Id", id)
-		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), requestIDKey{}, id)))
+		ctx := context.WithValue(r.Context(), requestIDKey{}, id)
+		ctx = trace.ContextWithRequestID(ctx, id)
+		next.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
 
@@ -535,12 +549,19 @@ func (s *server) beginTrace(r *http.Request, root string) (context.Context, *tra
 		return r.Context(), nil, false
 	}
 	tr := trace.New(root)
-	return trace.NewContext(r.Context(), tr), tr, explain
+	ctx := trace.NewContext(r.Context(), tr)
+	// Mint the distributed trace ids alongside the trace: outbound shard
+	// calls made under this context carry a traceparent child of this
+	// span context, so remote fragments join one trace. A single-engine
+	// solve makes no outbound calls and simply never reads it.
+	ctx = trace.ContextWithSpanContext(ctx, trace.NewSpanContext())
+	return ctx, tr, explain
 }
 
-// finishTrace stamps the trace, offers it to the slow-query log, and
+// finishTrace stamps the trace, offers it to the slow-query log — with
+// the per-shard RPC breakdown when the execution was distributed — and
 // returns the export for inlining in the response.
-func (s *server) finishTrace(r *http.Request, tr *trace.Trace, elapsed time.Duration, err error) *trace.Export {
+func (s *server) finishTrace(r *http.Request, tr *trace.Trace, elapsed time.Duration, err error, shards []trace.ShardCall) *trace.Export {
 	if tr == nil {
 		return nil
 	}
@@ -552,6 +573,7 @@ func (s *server) finishTrace(r *http.Request, tr *trace.Trace, elapsed time.Dura
 			ID:        requestIDFrom(r.Context()),
 			Query:     r.URL.RequestURI(),
 			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+			Shards:    shards,
 			Trace:     x,
 		}
 		if err != nil {
@@ -704,7 +726,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	ctx, tr, explain := s.beginTrace(r, "query")
 	start := time.Now()
 	res, err := s.requestEngine(ctx).SolveCtx(ctx, q, cost, method)
-	x := s.finishTrace(r, tr, time.Since(start), err)
+	x := s.finishTrace(r, tr, time.Since(start), err, nil)
 	if err != nil {
 		writeSolveError(w, err)
 		return
@@ -757,7 +779,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	ctx, tr, explain := s.beginTrace(r, "topk")
 	start := time.Now()
 	results, err := s.requestEngine(ctx).TopKCtx(ctx, q, cost, n)
-	x := s.finishTrace(r, tr, time.Since(start), err)
+	x := s.finishTrace(r, tr, time.Since(start), err, nil)
 	if err != nil {
 		writeSolveError(w, err)
 		return

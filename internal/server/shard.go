@@ -8,18 +8,27 @@
 package server
 
 import (
+	"bytes"
+	"context"
 	"errors"
+	"fmt"
 	"math"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"coskq/internal/core"
 	"coskq/internal/geo"
 	"coskq/internal/metrics"
 	"coskq/internal/shard"
+	"coskq/internal/trace"
 )
+
+// DefaultFederateTimeout bounds a federated metrics scrape's peer
+// fan-out when Options.FederateTimeout is zero.
+const DefaultFederateTimeout = 2 * time.Second
 
 // shardBackend lazily wraps the server's engine as an in-process shard
 // backend (identity id mapping: reported ids are this server's own
@@ -55,6 +64,10 @@ type shardNNHitJSON struct {
 
 type shardNNJSON struct {
 	Hits []shardNNHitJSON `json:"hits"`
+	// Trace is the handler's trace fragment, present only when the
+	// request carried a valid traceparent header (client.ShardNNResponse
+	// keeps it raw; the coordinator validates before stitching).
+	Trace *trace.Export `json:"trace,omitempty"`
 }
 
 // shardObjectJSON is one /shard/collect entry (client.ShardObject).
@@ -67,6 +80,20 @@ type shardObjectJSON struct {
 
 type shardCollectJSON struct {
 	Objects []shardObjectJSON `json:"objects"`
+	Trace   *trace.Export     `json:"trace,omitempty"`
+}
+
+// beginShardTrace starts a local trace for a shard data-plane call when
+// — and only when — the caller propagated a valid traceparent: the
+// shard then records its search anatomy and returns the export as a
+// fragment. Without the header the call runs untraced, preserving the
+// serve path's zero-allocation instrumentation cost.
+func beginShardTrace(r *http.Request) (context.Context, *trace.Trace) {
+	if _, ok := trace.ParseTraceparent(r.Header.Get("Traceparent")); !ok {
+		return r.Context(), nil
+	}
+	tr := trace.New("serve")
+	return trace.NewContext(r.Context(), tr), tr
 }
 
 func (s *server) handleShardMeta(w http.ResponseWriter, r *http.Request) {
@@ -114,7 +141,8 @@ func (s *server) handleShardNN(w http.ResponseWriter, r *http.Request) {
 		writeSolveError(w, err)
 		return
 	}
-	hits, err := s.shardBackend().NN(r.Context(), sq)
+	ctx, tr := beginShardTrace(r)
+	hits, err := s.shardBackend().NN(ctx, sq)
 	if err != nil {
 		writeSolveError(w, err)
 		return
@@ -130,6 +158,8 @@ func (s *server) handleShardNN(w http.ResponseWriter, r *http.Request) {
 			Dist: h.Dist, Keywords: h.Cand.Words,
 		}
 	}
+	tr.Finish()
+	resp.Trace = tr.Export()
 	writeJSON(w, resp)
 }
 
@@ -148,7 +178,8 @@ func (s *server) handleShardCollect(w http.ResponseWriter, r *http.Request) {
 		writeSolveError(w, err)
 		return
 	}
-	cands, err := s.shardBackend().Collect(r.Context(), sq, radius)
+	ctx, tr := beginShardTrace(r)
+	cands, err := s.shardBackend().Collect(ctx, sq, radius)
 	if err != nil {
 		writeSolveError(w, err)
 		return
@@ -159,6 +190,8 @@ func (s *server) handleShardCollect(w http.ResponseWriter, r *http.Request) {
 			ID: uint32(c.GID), X: c.Loc.X, Y: c.Loc.Y, Keywords: c.Words,
 		}
 	}
+	tr.Finish()
+	resp.Trace = tr.Export()
 	writeJSON(w, resp)
 }
 
@@ -193,9 +226,72 @@ func NewScatterGather(rt *shard.Router, opts Options) http.Handler {
 			"shards": len(rt.Backends),
 		})
 	})
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.federatedMetricsHandler(rt, opts.FederateTimeout))
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
 	return s.wrap(mux, opts.Timeout)
+}
+
+// federatedMetricsHandler serves GET /metrics on the coordinator. The
+// plain scrape is the local registry; ?federate=1 additionally fans out
+// to every backend implementing shard.MetricsFetcher and merges the
+// peer pages into one exposition, each peer's samples labeled with its
+// shard name. Peer fetches run concurrently under one timeout; a failed
+// peer contributes a comment line and a coordinator-side error counter,
+// never a scrape failure.
+func (s *server) federatedMetricsHandler(rt *shard.Router, timeout time.Duration) http.HandlerFunc {
+	if timeout <= 0 {
+		timeout = DefaultFederateTimeout
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("federate") != "1" {
+			s.handleMetrics(w, r)
+			return
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		pages := make([]metrics.MergePage, 1, len(rt.Backends)+1)
+		var (
+			mu sync.Mutex
+			wg sync.WaitGroup
+		)
+		for i, b := range rt.Backends {
+			mf, ok := b.(shard.MetricsFetcher)
+			if !ok {
+				continue
+			}
+			wg.Add(1)
+			go func(ord int, name string, mf shard.MetricsFetcher) {
+				defer wg.Done()
+				text, err := mf.FetchMetrics(ctx)
+				if err != nil {
+					s.reg.Counter(fmt.Sprintf("coskq_federate_peer_errors_total{shard=%q}", name)).Inc()
+				}
+				mu.Lock()
+				pages = append(pages, metrics.MergePage{Source: name, Text: text, Err: err})
+				mu.Unlock()
+			}(i, b.Name(), mf)
+		}
+		wg.Wait()
+		// Snapshot the local page after the fan-out so this scrape's own
+		// peer-fetch error counters are already visible in it.
+		var local bytes.Buffer
+		s.reg.WriteText(&local)
+		pages[0] = metrics.MergePage{Text: local.Bytes()}
+		// Peer pages arrive in completion order; restore backend order so
+		// the merged exposition is deterministic for a fixed fleet.
+		peers := pages[1:]
+		ordinal := make(map[string]int, len(rt.Backends))
+		for i, b := range rt.Backends {
+			ordinal[b.Name()] = i
+		}
+		for i := 1; i < len(peers); i++ {
+			for j := i; j > 0 && ordinal[peers[j].Source] < ordinal[peers[j-1].Source]; j-- {
+				peers[j], peers[j-1] = peers[j-1], peers[j]
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		metrics.MergeText(w, pages)
+	}
 }
 
 // writeScatterError extends writeSolveError with the routing failure
@@ -251,7 +347,9 @@ func (s *server) scatterQueryHandler(rt *shard.Router) http.Handler {
 		start := time.Now()
 		ans, err := rt.RouteWords(ctx, loc, words, cost, method)
 		elapsed := time.Since(start)
-		xp := s.finishTrace(r, tr, elapsed, err)
+		// Info.Calls is populated even on error returns, so a slow query
+		// that ultimately failed still shows which shard calls it made.
+		xp := s.finishTrace(r, tr, elapsed, err, ans.Info.Calls)
 		if err != nil {
 			writeScatterError(w, err)
 			return

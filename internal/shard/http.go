@@ -2,10 +2,12 @@ package shard
 
 import (
 	"context"
+	"encoding/json"
 
 	"coskq/internal/client"
 	"coskq/internal/dataset"
 	"coskq/internal/geo"
+	"coskq/internal/trace"
 )
 
 // HTTPBackend serves one shard from a remote coskq-server over the
@@ -42,12 +44,36 @@ func (b *HTTPBackend) Meta(ctx context.Context) (Meta, error) {
 	return Meta{Name: m.Name, Objects: m.Objects, MBR: mbr, Summary: sum}, nil
 }
 
+// attachFragment validates a shard's trace fragment and grafts it into
+// the call's local trace. A fragment that fails validation — malformed
+// JSON, oversized, hostile times — is dropped and counted on the trace;
+// telemetry must never fail the data-plane call that carried it.
+func attachFragment(ctx context.Context, raw json.RawMessage) {
+	tr := trace.FromContext(ctx)
+	if tr == nil || len(raw) == 0 {
+		return
+	}
+	x, err := trace.DecodeFragment(raw)
+	if err != nil {
+		tr.DropFragment()
+		return
+	}
+	tr.AttachFragment(x)
+}
+
+// FetchMetrics implements MetricsFetcher: the peer's /metrics page for
+// the coordinator's federated exposition.
+func (b *HTTPBackend) FetchMetrics(ctx context.Context) ([]byte, error) {
+	return b.C.MetricsText(ctx)
+}
+
 // NN implements Backend.
 func (b *HTTPBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
 	resp, err := b.C.ShardNN(ctx, q.Loc.X, q.Loc.Y, q.Words)
 	if err != nil {
 		return nil, err
 	}
+	attachFragment(ctx, resp.Trace)
 	hits := make([]NNHit, len(resp.Hits))
 	for i, h := range resp.Hits {
 		if !h.Found {
@@ -72,6 +98,7 @@ func (b *HTTPBackend) Collect(ctx context.Context, q ShardQuery, radius float64)
 	if err != nil {
 		return nil, err
 	}
+	attachFragment(ctx, resp.Trace)
 	out := make([]Candidate, len(resp.Objects))
 	for i, o := range resp.Objects {
 		out[i] = Candidate{

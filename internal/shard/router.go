@@ -52,6 +52,10 @@ type RouteInfo struct {
 	SeedCost      float64 // cost U of the merged nearest-neighbor set N(q)
 	Radius        float64 // gather radius (= SeedCost for every cost kind)
 	PoolSize      int     // objects the pool engine solved over
+	// Calls is the per-shard RPC breakdown (both scatter phases, shard
+	// order within each phase) — the slow-query log records it so a slow
+	// distributed query answers "which shard" without reading the trace.
+	Calls []trace.ShardCall
 }
 
 // Answer is the full outcome of a routed query: the facade Result (its
@@ -121,6 +125,34 @@ func (m *Metrics) call(phase, name string) {
 func (m *Metrics) failure(phase, name string) {
 	if m != nil {
 		m.reg.Counter(fmt.Sprintf("coskq_shard_failures_total{phase=%q,shard=%q}", phase, name)).Inc()
+	}
+}
+
+// rpcBuckets spans sub-millisecond in-process calls through multi-second
+// degraded remote calls.
+var rpcBuckets = []float64{0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5}
+
+func (m *Metrics) rpc(phase, name string, seconds float64) {
+	if m != nil {
+		m.reg.Histogram(fmt.Sprintf("coskq_shard_rpc_seconds{phase=%q,shard=%q}", phase, name), rpcBuckets).Observe(seconds)
+	}
+}
+
+func (m *Metrics) rpcError(phase, name string) {
+	if m != nil {
+		m.reg.Counter(fmt.Sprintf("coskq_shard_rpc_errors_total{phase=%q,shard=%q}", phase, name)).Inc()
+	}
+}
+
+func (m *Metrics) rpcPrunes(name string, n int64) {
+	if m != nil && n > 0 {
+		m.reg.Counter(fmt.Sprintf("coskq_shard_rpc_prunes_total{shard=%q}", name)).Add(uint64(n))
+	}
+}
+
+func (m *Metrics) fragmentDrops(name string, n int) {
+	if m != nil && n > 0 {
+		m.reg.Counter(fmt.Sprintf("coskq_shard_fragment_drops_total{shard=%q}", name)).Add(uint64(n))
 	}
 }
 
@@ -319,14 +351,61 @@ func (r *Router) callShard(ctx context.Context, ord int, phase string, fn func(c
 
 // scatter fans call out over the given shard ordinals, bounded by
 // Fanout. Fanout 1 runs the calls inline in shard order — the
-// deterministic schedule the chaos suite replays. The returned slice is
-// indexed by shard ordinal.
-func (r *Router) scatter(ctx context.Context, phase string, grp *trace.Group, shards []int, call func(context.Context, int) error) []error {
+// deterministic schedule the chaos suite replays. The returned error
+// slice is indexed by shard ordinal; the call records follow the shards
+// argument's order.
+//
+// When the coordinator is tracing, each call gets a *private* trace in
+// its context (the coordinator's trace is single-goroutine, the workers
+// are not): in-process backends instrument into it directly, HTTP
+// backends graft the shard server's validated fragment into it, and
+// after the call returns its export is stitched under the per-shard RPC
+// span via the group-lock-aware Span.Graft. The call also carries a
+// child span context, so remote shards see a W3C-style traceparent and
+// tag their fragments with the coordinator's trace id.
+func (r *Router) scatter(ctx context.Context, phase string, grp *trace.Group, shards []int, call func(context.Context, int) error) ([]error, []trace.ShardCall) {
 	errs := make([]error, len(r.Backends))
+	recs := make([]trace.ShardCall, len(r.Backends))
+	tr := trace.FromContext(ctx)
+	sc, _ := trace.SpanContextFromContext(ctx)
 	one := func(ord int) {
-		sp := grp.Begin(fmt.Sprintf("%s:%s", phase, r.Backends[ord].Name()))
-		errs[ord] = r.callShard(ctx, ord, phase, func(c context.Context) error { return call(c, ord) })
+		name := r.Backends[ord].Name()
+		cctx := ctx
+		var local *trace.Trace
+		var sp *trace.Span
+		if tr != nil {
+			sp = grp.Begin(fmt.Sprintf("%s:%s", phase, name))
+			local = trace.New(phase)
+			cctx = trace.NewContext(ctx, local)
+			if sc.Valid() {
+				cctx = trace.ContextWithSpanContext(cctx, sc.Child())
+			}
+		}
+		start := time.Now()
+		errs[ord] = r.callShard(cctx, ord, phase, func(c context.Context) error { return call(c, ord) })
+		elapsed := time.Since(start)
+		r.Metrics.rpc(phase, name, elapsed.Seconds())
+		rec := trace.ShardCall{Shard: name, Phase: phase, ElapsedMs: float64(elapsed.Nanoseconds()) / 1e6}
+		if errs[ord] != nil {
+			r.Metrics.rpcError(phase, name)
+			rec.Err = errs[ord].Error()
+		}
+		if tr != nil {
+			local.Finish()
+			x := local.Export()
+			// The local trace's root is scaffolding; its children — the
+			// backend's own spans, or the remote fragment — belong directly
+			// under the per-shard RPC span.
+			sp.Graft(x)
+			rec.Spans = x.SpanCount() - 1
+			for _, v := range x.Prunes {
+				rec.Prunes += v
+			}
+			r.Metrics.fragmentDrops(name, x.DroppedFragments)
+			r.Metrics.rpcPrunes(name, rec.Prunes)
+		}
 		sp.End()
+		recs[ord] = rec
 	}
 	fanout := r.Fanout
 	if fanout <= 0 || fanout > len(shards) {
@@ -336,21 +415,25 @@ func (r *Router) scatter(ctx context.Context, phase string, grp *trace.Group, sh
 		for _, ord := range shards {
 			one(ord)
 		}
-		return errs
+	} else {
+		sem := make(chan struct{}, fanout)
+		var wg sync.WaitGroup
+		for _, ord := range shards {
+			wg.Add(1)
+			go func(ord int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				one(ord)
+			}(ord)
+		}
+		wg.Wait()
 	}
-	sem := make(chan struct{}, fanout)
-	var wg sync.WaitGroup
+	calls := make([]trace.ShardCall, 0, len(shards))
 	for _, ord := range shards {
-		wg.Add(1)
-		go func(ord int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			one(ord)
-		}(ord)
+		calls = append(calls, recs[ord])
 	}
-	wg.Wait()
-	return errs
+	return errs, calls
 }
 
 // RouteWords answers one CoSKQ query over the shard fleet. Keywords are
@@ -376,6 +459,7 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	// Phase 1: keyword prune. A clear summary bit proves the word absent
 	// from the shard, so skipping it can neither lose answer members nor
 	// mask infeasibility.
+	kp := tr.Begin("keyword_prune")
 	var alive []int
 	for i := range r.Backends {
 		if r.metas[i].Objects == 0 || !r.metas[i].Summary.MightAny(words) {
@@ -384,13 +468,16 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 		}
 		alive = append(alive, i)
 	}
+	kp.Attr("shards", float64(len(r.Backends)))
+	kp.Attr("pruned", float64(len(info.KeywordPruned)))
+	kp.End()
 
 	// Phase 2: scatter per-keyword NN probes and merge the global
 	// nearest neighbor per word by (distance, shard ordinal) — the
 	// deterministic tie order the merge contract promises.
 	hits := make([][]NNHit, len(r.Backends))
 	grp := tr.BeginGroup("shard_nn")
-	nnErrs := r.scatter(ctx, "nn", grp, alive, func(c context.Context, ord int) error {
+	nnErrs, nnCalls := r.scatter(ctx, "nn", grp, alive, func(c context.Context, ord int) error {
 		h, err := r.Backends[ord].NN(c, sq)
 		if err != nil {
 			return err
@@ -403,6 +490,7 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	})
 	grp.Attr("shards", float64(len(alive)))
 	grp.End()
+	info.Calls = nnCalls
 
 	failed := make(map[int]bool)
 	for _, ord := range alive {
@@ -459,6 +547,7 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	info.Radius = info.SeedCost
 
 	// Phase 4: MBR prune — strict inequality keeps boundary ties.
+	mp := tr.Begin("mbr_prune")
 	var keep []int
 	for _, ord := range alive {
 		if failed[ord] {
@@ -470,13 +559,16 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 		}
 		keep = append(keep, ord)
 	}
+	mp.Attr("radius", info.Radius)
+	mp.Attr("pruned", float64(len(info.MBRPruned)))
+	mp.End()
 	r.Metrics.pruned(len(info.KeywordPruned), len(info.MBRPruned))
 
 	// Phase 5: gather every relevant object inside the disk from the
 	// surviving shards.
 	collected := make([][]Candidate, len(r.Backends))
 	grp = tr.BeginGroup("shard_collect")
-	colErrs := r.scatter(ctx, "collect", grp, keep, func(c context.Context, ord int) error {
+	colErrs, colCalls := r.scatter(ctx, "collect", grp, keep, func(c context.Context, ord int) error {
 		cands, err := r.Backends[ord].Collect(c, sq, info.Radius)
 		if err != nil {
 			return err
@@ -487,6 +579,7 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	grp.Attr("shards", float64(len(keep)))
 	grp.Attr("radius", info.Radius)
 	grp.End()
+	info.Calls = append(info.Calls, colCalls...)
 
 	for _, ord := range keep {
 		if colErrs[ord] != nil {

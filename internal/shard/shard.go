@@ -26,6 +26,7 @@ import (
 	"coskq/internal/dataset"
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
+	"coskq/internal/trace"
 )
 
 // SummaryWords is the fixed width of a keyword Summary in 64-bit words
@@ -154,9 +155,24 @@ type NNHit struct {
 	Cand  Candidate
 }
 
+// MetricsFetcher is an optional Backend capability: fetching the
+// shard's own /metrics text exposition so the coordinator can serve a
+// federated, cluster-wide page (/metrics?federate=1). HTTP backends
+// implement it; in-process backends don't need to — they share the
+// coordinator's registry.
+type MetricsFetcher interface {
+	FetchMetrics(ctx context.Context) ([]byte, error)
+}
+
 // Backend is one shard as the Router sees it: a routing summary, a
 // per-keyword nearest-neighbor probe, and a bounded relevant-object
 // gather. Implementations must be safe for concurrent calls.
+//
+// Backends observe the trace carried by ctx (trace.FromContext): a
+// traced call records its shard-local search anatomy into it — the
+// router hands each call a private trace and stitches the exports, so
+// concurrent backends never share one. With no trace in ctx the
+// instrumentation is nil-safe branch-only code that never allocates.
 type Backend interface {
 	// Name identifies the shard in errors and metrics labels.
 	Name() string
@@ -229,26 +245,43 @@ func (b *EngineBackend) candidate(o *dataset.Object) Candidate {
 
 // NN implements Backend.
 func (b *EngineBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.Begin("nn_probes")
+	defer sp.End()
 	hits := make([]NNHit, len(q.Words))
 	if b.Eng == nil {
 		return hits, nil
 	}
+	found := 0
 	for i, w := range q.Words {
+		ps := tr.Begin("probe")
+		ps.Attr("kw", float64(i))
 		kw, ok := b.Eng.DS.Vocab.Lookup(w)
 		if !ok {
+			ps.Drop()
 			continue
 		}
 		oid, d, ok := b.Eng.Tree.NN(q.Loc, kw)
 		if !ok {
+			ps.Drop()
 			continue
 		}
+		found++
+		ps.Attr("dist", d)
+		ps.End()
 		hits[i] = NNHit{Found: true, Dist: d, Cand: b.candidate(b.Eng.DS.Object(oid))}
 	}
+	sp.Attr("keywords", float64(len(q.Words)))
+	sp.Attr("found", float64(found))
 	return hits, nil
 }
 
 // Collect implements Backend.
 func (b *EngineBackend) Collect(ctx context.Context, q ShardQuery, radius float64) ([]Candidate, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.Begin("collect_scan")
+	defer sp.End()
+	sp.Attr("radius", radius)
 	if b.Eng == nil {
 		return nil, nil
 	}
@@ -267,5 +300,6 @@ func (b *EngineBackend) Collect(ctx context.Context, q ShardQuery, radius float6
 		out = append(out, b.candidate(o))
 		return true
 	})
+	sp.Attr("objects", float64(len(out)))
 	return out, nil
 }

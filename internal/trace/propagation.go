@@ -1,0 +1,178 @@
+// Cross-process trace propagation. A distributed query is one trace
+// whose spans are produced by several processes: the coordinator mints a
+// SpanContext (a W3C-traceparent-shaped pair of ids), the HTTP client
+// injects it as a request header on every shard data-plane call, and the
+// shard server extracts it to decide that its handler should run under a
+// local trace whose export travels back as a fragment (fragment.go).
+//
+// Only ids cross the wire — never clocks. A fragment's span times are
+// offsets from its own trace start, re-based onto the coordinator's RPC
+// span at stitch time, so the stitched tree is immune to wall-clock skew
+// between coordinator and shards.
+//
+// The request id rides the same context: ContextWithRequestID /
+// RequestIDFromContext let the server middleware and the HTTP client
+// share one X-Request-Id across a scatter-gather fan-out, so coordinator
+// and shard log lines join on a single id.
+package trace
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// SpanContext identifies one span of a distributed trace on the wire:
+// the trace id shared by every process touched by the request plus the
+// id of the propagating call's own span. The zero value is invalid.
+type SpanContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// Valid reports whether both ids are non-zero, as the traceparent
+// grammar requires.
+func (sc SpanContext) Valid() bool {
+	return sc.TraceID != [16]byte{} && sc.SpanID != [8]byte{}
+}
+
+// Traceparent renders the context in the W3C traceparent shape:
+// version 00, lowercase hex ids, sampled flag set (a propagated context
+// always means "the coordinator is tracing").
+func (sc SpanContext) Traceparent() string {
+	var buf [55]byte
+	buf[0], buf[1], buf[2] = '0', '0', '-'
+	hex.Encode(buf[3:35], sc.TraceID[:])
+	buf[35] = '-'
+	hex.Encode(buf[36:52], sc.SpanID[:])
+	buf[52], buf[53], buf[54] = '-', '0', '1'
+	return string(buf[:])
+}
+
+// ParseTraceparent parses a traceparent-shaped header value. It accepts
+// exactly the shape Traceparent produces plus any two-hex-digit flags
+// byte, and rejects everything else: wrong length, an unknown version,
+// uppercase or non-hex digits, and all-zero ids (the spec's invalid
+// markers). A malformed header simply means "not traced" — never an
+// error the data plane would surface.
+func ParseTraceparent(h string) (SpanContext, bool) {
+	var sc SpanContext
+	if len(h) != 55 || h[0] != '0' || h[1] != '0' || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return sc, false
+	}
+	if !hexLower(h[53:55]) {
+		return sc, false
+	}
+	if _, err := hex.Decode(sc.TraceID[:], []byte(h[3:35])); err != nil || !hexLower(h[3:35]) {
+		return SpanContext{}, false
+	}
+	if _, err := hex.Decode(sc.SpanID[:], []byte(h[36:52])); err != nil || !hexLower(h[36:52]) {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+func hexLower(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// idFallback seeds deterministic ids when crypto/rand is unavailable
+// (it never should be; the counter keeps ids unique within the process).
+var idFallback atomic.Uint64
+
+// NewSpanContext mints a fresh root span context with random ids.
+func NewSpanContext() SpanContext {
+	var sc SpanContext
+	if _, err := rand.Read(sc.TraceID[:]); err != nil {
+		binary.LittleEndian.PutUint64(sc.TraceID[:8], idFallback.Add(1))
+		binary.LittleEndian.PutUint64(sc.TraceID[8:], idFallback.Add(1))
+	}
+	if _, err := rand.Read(sc.SpanID[:]); err != nil {
+		binary.LittleEndian.PutUint64(sc.SpanID[:], idFallback.Add(1))
+	}
+	return sc
+}
+
+// Child returns a context for one outbound call: the same trace id with
+// a fresh span id, so every shard RPC is a distinct span of one trace.
+func (sc SpanContext) Child() SpanContext {
+	child := SpanContext{TraceID: sc.TraceID}
+	if _, err := rand.Read(child.SpanID[:]); err != nil {
+		binary.LittleEndian.PutUint64(child.SpanID[:], idFallback.Add(1))
+	}
+	return child
+}
+
+// spanCtxKey is the private context key carrying a SpanContext.
+type spanCtxKey struct{}
+
+// ContextWithSpanContext returns ctx carrying sc; the HTTP client
+// injects a traceparent header on requests made under it.
+func ContextWithSpanContext(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFromContext returns the span context carried by ctx. Like
+// FromContext it never allocates, so probing per call is free when
+// tracing is off.
+func SpanContextFromContext(ctx context.Context) (SpanContext, bool) {
+	if ctx == nil {
+		return SpanContext{}, false
+	}
+	sc, ok := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc, ok
+}
+
+// requestIDKey is the private context key carrying the request id.
+type requestIDKey struct{}
+
+// ContextWithRequestID returns ctx carrying the request id assigned by
+// the server middleware; the HTTP client forwards it as X-Request-Id on
+// every outbound call made under it.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request id carried by ctx, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// MaxRequestIDLen bounds an adopted inbound request id; anything longer
+// is treated as absent.
+const MaxRequestIDLen = 64
+
+// ValidRequestID reports whether an inbound X-Request-Id is safe to
+// adopt: non-empty, bounded, and drawn from a log-safe alphabet. A shard
+// server adopting the coordinator's id must not let an arbitrary client
+// inject log or header content.
+func ValidRequestID(id string) bool {
+	if id == "" || len(id) > MaxRequestIDLen {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}

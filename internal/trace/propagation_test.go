@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestTraceparentRoundTrip: a minted span context renders to a 55-char
+// W3C-shaped header that parses back to the identical context.
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := NewSpanContext()
+	if !sc.Valid() {
+		t.Fatal("minted span context invalid")
+	}
+	h := sc.Traceparent()
+	if len(h) != 55 {
+		t.Fatalf("traceparent length %d, want 55: %q", len(h), h)
+	}
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Fatalf("traceparent shape wrong: %q", h)
+	}
+	got, ok := ParseTraceparent(h)
+	if !ok {
+		t.Fatalf("own traceparent did not parse: %q", h)
+	}
+	if got != sc {
+		t.Fatalf("round trip: got %+v, want %+v", got, sc)
+	}
+}
+
+// TestTraceparentRejections: everything outside the exact grammar is
+// "not traced", never a panic or partial parse.
+func TestTraceparentRejections(t *testing.T) {
+	valid := NewSpanContext().Traceparent()
+	cases := map[string]string{
+		"empty":           "",
+		"short":           valid[:54],
+		"long":            valid + "0",
+		"bad version":     "01" + valid[2:],
+		"uppercase trace": valid[:3] + strings.ToUpper(valid[3:35]) + valid[35:],
+		"non-hex":         valid[:3] + "zz" + valid[5:],
+		"zero trace id":   "00-00000000000000000000000000000000-" + valid[36:],
+		"zero span id":    valid[:36] + "0000000000000000-01",
+		"bad separator":   valid[:35] + "_" + valid[36:],
+		"bad flags":       valid[:53] + "GG",
+	}
+	for name, h := range cases {
+		if _, ok := ParseTraceparent(h); ok {
+			t.Errorf("%s: %q parsed, want rejection", name, h)
+		}
+	}
+}
+
+// TestSpanContextChild: a child shares the trace id with a fresh,
+// non-zero span id — each shard RPC is its own span of one trace.
+func TestSpanContextChild(t *testing.T) {
+	sc := NewSpanContext()
+	c1, c2 := sc.Child(), sc.Child()
+	if c1.TraceID != sc.TraceID || c2.TraceID != sc.TraceID {
+		t.Fatal("child changed the trace id")
+	}
+	if !c1.Valid() || !c2.Valid() {
+		t.Fatal("child context invalid")
+	}
+	if c1.SpanID == sc.SpanID || c1.SpanID == c2.SpanID {
+		t.Fatalf("child span ids not fresh: parent %x, children %x %x", sc.SpanID, c1.SpanID, c2.SpanID)
+	}
+}
+
+// TestSpanContextCarriage: the context carriage round-trips and absence
+// is reported, not zero-value-confused.
+func TestSpanContextCarriage(t *testing.T) {
+	if _, ok := SpanContextFromContext(context.Background()); ok {
+		t.Fatal("empty context reported a span context")
+	}
+	sc := NewSpanContext()
+	ctx := ContextWithSpanContext(context.Background(), sc)
+	got, ok := SpanContextFromContext(ctx)
+	if !ok || got != sc {
+		t.Fatalf("carriage: got %+v ok=%v", got, ok)
+	}
+}
+
+// TestRequestIDCarriage covers the request-id side of the carrier.
+func TestRequestIDCarriage(t *testing.T) {
+	if id := RequestIDFromContext(context.Background()); id != "" {
+		t.Fatalf("empty context carries id %q", id)
+	}
+	ctx := ContextWithRequestID(context.Background(), "abc-7")
+	if id := RequestIDFromContext(ctx); id != "abc-7" {
+		t.Fatalf("carried id %q", id)
+	}
+}
+
+// TestValidRequestID: only bounded, log-safe ids are adopted from the
+// wire — a client must not be able to inject log/header content.
+func TestValidRequestID(t *testing.T) {
+	for _, good := range []string{"a", "deadbeef-42", "A.b:C_d-9"} {
+		if !ValidRequestID(good) {
+			t.Errorf("ValidRequestID(%q) = false", good)
+		}
+	}
+	for _, bad := range []string{
+		"", strings.Repeat("a", MaxRequestIDLen+1),
+		"has space", "new\nline", "quote\"", "semi;colon", "curl{y}",
+	} {
+		if ValidRequestID(bad) {
+			t.Errorf("ValidRequestID(%q) = true", bad)
+		}
+	}
+}

@@ -6,14 +6,29 @@ import (
 )
 
 // Entry is one retained slow query: what ran, how long it took, and (when
-// the execution was traced) the full trace.
+// the execution was traced) the full trace. Distributed queries carry a
+// per-shard RPC breakdown so a slow scatter-gather entry answers "which
+// shard was slow" without reading the stitched trace.
 type Entry struct {
-	Time      time.Time `json:"time"`
-	ID        string    `json:"id,omitempty"` // request id, when served over HTTP
-	Query     string    `json:"query"`        // human-readable query description
-	ElapsedMs float64   `json:"elapsedMs"`
-	Err       string    `json:"error,omitempty"`
-	Trace     *Export   `json:"trace,omitempty"`
+	Time      time.Time   `json:"time"`
+	ID        string      `json:"id,omitempty"` // request id, when served over HTTP
+	Query     string      `json:"query"`        // human-readable query description
+	ElapsedMs float64     `json:"elapsedMs"`
+	Err       string      `json:"error,omitempty"`
+	Shards    []ShardCall `json:"shards,omitempty"`
+	Trace     *Export     `json:"trace,omitempty"`
+}
+
+// ShardCall is one per-shard RPC of a distributed query: which shard,
+// which data-plane phase, how long the call took, how many spans its
+// trace fragment contributed, and how it failed (if it did).
+type ShardCall struct {
+	Shard     string  `json:"shard"`
+	Phase     string  `json:"phase"` // "nn" or "collect"
+	ElapsedMs float64 `json:"elapsedMs"`
+	Spans     int     `json:"spans,omitempty"`  // spans stitched from this call's fragment
+	Prunes    int64   `json:"prunes,omitempty"` // prune events the fragment reported
+	Err       string  `json:"error,omitempty"`
 }
 
 // SlowLog retains the k slowest recently observed query executions in a

@@ -164,13 +164,14 @@ type Span struct {
 // query runs on one goroutine, so nesting is a stack) and the retained-
 // span budget.
 type Trace struct {
-	start   time.Time
-	root    Span
-	cur     *Span
-	nspans  int // retained spans, root excluded
-	max     int
-	dropped int
-	prunes  PruneCounts
+	start        time.Time
+	root         Span
+	cur          *Span
+	nspans       int // retained spans, root excluded
+	max          int
+	dropped      int
+	droppedFrags int // remote fragments discarded (fragment.go)
+	prunes       PruneCounts
 }
 
 // New starts a trace whose root span carries name. The clock starts now.
@@ -347,12 +348,13 @@ func (t *Trace) Export() *Export {
 		return nil
 	}
 	x := &Export{
-		Name:         t.root.name,
-		Start:        t.start,
-		DurUs:        us(t.root.dur),
-		Prunes:       t.prunes.Map(),
-		DroppedSpans: t.dropped,
-		Spans:        exportSpans(t.root.children),
+		Name:             t.root.name,
+		Start:            t.start,
+		DurUs:            us(t.root.dur),
+		Prunes:           t.prunes.Map(),
+		DroppedSpans:     t.dropped,
+		DroppedFragments: t.droppedFrags,
+		Spans:            exportSpans(t.root.children),
 	}
 	if len(x.Prunes) == 0 {
 		x.Prunes = nil
@@ -360,14 +362,17 @@ func (t *Trace) Export() *Export {
 	return x
 }
 
-// Export is the JSON form of a trace.
+// Export is the JSON form of a trace. It doubles as the wire form of a
+// shard's trace fragment (fragment.go) — Start stays local to the
+// exporting process and is ignored at stitch time.
 type Export struct {
-	Name         string           `json:"name"`
-	Start        time.Time        `json:"start"`
-	DurUs        float64          `json:"durUs"`
-	Prunes       map[string]int64 `json:"prunes,omitempty"`
-	DroppedSpans int              `json:"droppedSpans,omitempty"`
-	Spans        []*SpanExport    `json:"spans"`
+	Name             string           `json:"name"`
+	Start            time.Time        `json:"start"`
+	DurUs            float64          `json:"durUs"`
+	Prunes           map[string]int64 `json:"prunes,omitempty"`
+	DroppedSpans     int              `json:"droppedSpans,omitempty"`
+	DroppedFragments int              `json:"droppedFragments,omitempty"`
+	Spans            []*SpanExport    `json:"spans"`
 }
 
 // SpanExport is the JSON form of one span. Attrs marshal deterministically
