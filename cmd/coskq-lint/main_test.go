@@ -69,3 +69,102 @@ func Warn(msg string) { log.Println(msg) }
 		t.Fatalf("vet failed but without the slogonly diagnostic:\n%s", out)
 	}
 }
+
+// writeModule lays out a throwaway module for vet smoke tests and
+// returns a helper that runs the suite over it.
+func writeModule(t *testing.T, bin string, files map[string]string) (run func() (string, error)) {
+	t.Helper()
+	mod := t.TempDir()
+	for rel, src := range files {
+		path := filepath.Join(mod, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return func() (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = mod
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+}
+
+// TestLintDetmapsTestMode verifies the detmaps test-mode rule fires on
+// _test.go files: a test table expressed as a map literal is rejected
+// because a failure message depends on which case the runtime visits
+// first. The offline analyzertest harness skips _test.go fixtures, so
+// this behavior is proven here, through real go vet.
+func TestLintDetmapsTestMode(t *testing.T) {
+	bin, _ := buildLint(t)
+	run := writeModule(t, bin, map[string]string{
+		"go.mod": "module smoketest\n\ngo 1.22\n",
+		"shard/shard.go": `package shard
+
+func Route(n int) int { return n % 4 }
+`,
+		"shard/shard_test.go": `package shard
+
+import "testing"
+
+func TestRoute(t *testing.T) {
+	for in, want := range map[int]int{1: 1, 5: 1, 8: 0} {
+		if got := Route(in); got != want {
+			t.Fatalf("Route(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+`,
+	})
+	out, err := run()
+	if err == nil {
+		t.Fatalf("go vet passed over a map-literal test table; want a detmaps failure\n%s", out)
+	}
+	if !strings.Contains(out, "map literal of cases") {
+		t.Fatalf("vet failed but without the detmaps test-mode diagnostic:\n%s", out)
+	}
+}
+
+// TestLintNolintRequiresReason verifies the suppression policy: a
+// //coskq:nolint(analyzer) with no reason suppresses nothing and is
+// itself reported, while a justified one silences the diagnostic.
+func TestLintNolintRequiresReason(t *testing.T) {
+	bin, _ := buildLint(t)
+
+	src := func(nolint string) string {
+		return `package server
+
+import "log"
+
+func Warn(msg string) {
+	` + nolint + `
+	log.Println(msg)
+}
+`
+	}
+
+	run := writeModule(t, bin, map[string]string{
+		"go.mod":           "module smoketest\n\ngo 1.22\n",
+		"server/server.go": src("//coskq:nolint(slogonly)"),
+	})
+	out, err := run()
+	if err == nil {
+		t.Fatalf("go vet passed with a reason-less nolint; want it reported\n%s", out)
+	}
+	if !strings.Contains(out, "without a reason") {
+		t.Fatalf("vet failed but without the missing-reason diagnostic:\n%s", out)
+	}
+	if !strings.Contains(out, "log/slog") {
+		t.Fatalf("a reason-less nolint must not suppress the underlying diagnostic:\n%s", out)
+	}
+
+	run = writeModule(t, bin, map[string]string{
+		"go.mod":           "module smoketest\n\ngo 1.22\n",
+		"server/server.go": src("//coskq:nolint(slogonly) startup banner predates the logger"),
+	})
+	if out, err := run(); err != nil {
+		t.Fatalf("justified nolint should suppress the diagnostic, got: %v\n%s", err, out)
+	}
+}

@@ -55,6 +55,7 @@ type funcInfo struct {
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	rep := lintutil.NewReporter(pass)
 	if !lintutil.PkgIs(pass.Pkg, "core") {
 		return nil, nil
 	}
@@ -105,7 +106,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			continue
 		}
 		if path := panicPath(infos, fn, make(map[*types.Func]bool)); path != nil {
-			pass.ReportRangef(fi.decl.Name,
+			rep.Reportf(fi.decl.Name,
 				"exported function %s returns an error and can reach a budget/cancellation panic (via %s) but has no top-level defer recoverBudget(&err)",
 				fn.Name(), pathString(path))
 		}

@@ -1,7 +1,12 @@
-// Package coskqlint assembles the repository's analyzer suite: the five
-// machine-checked safety invariants of the CoSKQ engine. cmd/coskq-lint
-// exposes them as a go vet -vettool; DESIGN.md ("Enforced invariants")
-// maps each analyzer to the engine contract it guards.
+// Package coskqlint assembles the repository's analyzer suite: the ten
+// machine-checked safety invariants of the CoSKQ engine and its
+// distributed tier. cmd/coskq-lint exposes them as a go vet -vettool;
+// DESIGN.md ("Enforced invariants", first and second generation) maps
+// each analyzer to the contract it guards.
+//
+// A diagnostic may be suppressed only with a justified
+// //coskq:nolint(analyzer) reason comment (see lintutil); a suppression
+// without a reason is itself a finding.
 package coskqlint
 
 import (
@@ -9,12 +14,19 @@ import (
 
 	"coskq/internal/analysis/budgetrecover"
 	"coskq/internal/analysis/ctxpoll"
+	"coskq/internal/analysis/detmaps"
+	"coskq/internal/analysis/errtyped"
 	"coskq/internal/analysis/geodist"
+	"coskq/internal/analysis/metriclabel"
+	"coskq/internal/analysis/poolscratch"
+	"coskq/internal/analysis/rpcdeadline"
 	"coskq/internal/analysis/slogonly"
 	"coskq/internal/analysis/spanend"
 )
 
-// Analyzers returns the full suite in a stable order.
+// Analyzers returns the full suite in a stable order: the first
+// generation (engine invariants, PR 3) followed by the second
+// generation (distributed-tier invariants).
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		budgetrecover.Analyzer,
@@ -22,5 +34,10 @@ func Analyzers() []*analysis.Analyzer {
 		geodist.Analyzer,
 		slogonly.Analyzer,
 		spanend.Analyzer,
+		detmaps.Analyzer,
+		errtyped.Analyzer,
+		metriclabel.Analyzer,
+		poolscratch.Analyzer,
+		rpcdeadline.Analyzer,
 	}
 }

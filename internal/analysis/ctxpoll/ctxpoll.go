@@ -12,6 +12,7 @@ package ctxpoll
 
 import (
 	"go/ast"
+	"strings"
 
 	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/passes/inspect"
@@ -20,7 +21,7 @@ import (
 	"coskq/internal/analysis/lintutil"
 )
 
-const Doc = `check that core search loops poll the budget or the context
+const Doc = `check that search and scatter loops poll the budget or the context
 
 Inside the engine package (import path base "core"), any for/range loop
 that advances an IR-tree iterator (a Next method on a type from the
@@ -28,7 +29,14 @@ irtree package) or pops the search priority queue (a Pop method on a
 type from the pqueue package) must, somewhere in its body, call
 chargeNode or pollCancel, check ctx.Err()/ctx.Done(), or call a
 same-package helper that directly does one of those. Otherwise the
-engine's bounded-cancellation-latency contract is broken.`
+engine's bounded-cancellation-latency contract is broken.
+
+Inside the shard package the same obligation falls on fan-out loops: a
+for/range loop that issues Backend data-plane calls (Meta/NN/Collect)
+serially must poll the context between shards — otherwise cancelling a
+scatter leaves the Router marching through the remaining backends at one
+ShardTimeout each. Shard test files are exempt (the differential and
+prune suites re-solve shards exhaustively on purpose).`
 
 var Analyzer = &analysis.Analyzer{
 	Name:     "ctxpoll",
@@ -38,9 +46,12 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
-	if !lintutil.PkgIs(pass.Pkg, "core") {
+	coreMode := lintutil.PkgIs(pass.Pkg, "core")
+	shardMode := lintutil.PkgIs(pass.Pkg, "shard")
+	if !coreMode && !shardMode {
 		return nil, nil
 	}
+	rep := lintutil.NewReporter(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 
 	// Pre-scan: the package functions that poll directly. Calling one of
@@ -71,6 +82,9 @@ func run(pass *analysis.Pass) (interface{}, error) {
 	})
 
 	ins.Preorder([]ast.Node{(*ast.ForStmt)(nil), (*ast.RangeStmt)(nil)}, func(n ast.Node) {
+		if shardMode && strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+			return
+		}
 		var body *ast.BlockStmt
 		switch n := n.(type) {
 		case *ast.ForStmt:
@@ -90,7 +104,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if expands {
 				return false
 			}
-			if call, ok := m.(*ast.CallExpr); ok && isExpansion(pass, call) {
+			if call, ok := m.(*ast.CallExpr); ok && isExpansion(pass, call, shardMode) {
 				expands, expandCall = true, call
 			}
 			return true
@@ -113,16 +127,20 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			return true
 		})
 		if !satisfied {
-			pass.ReportRangef(expandCall,
-				"search loop expands nodes but never polls: call chargeNode/pollCancel (or check ctx.Err) in the loop body so cancellation and the node budget stay bounded")
+			msg := "search loop expands nodes but never polls: call chargeNode/pollCancel (or check ctx.Err) in the loop body so cancellation and the node budget stay bounded"
+			if shardMode {
+				msg = "fan-out loop issues shard calls but never polls: check ctx.Err (or call a polling helper) between backends so a cancelled scatter stops instead of marching through every remaining shard"
+			}
+			rep.Reportf(expandCall, msg)
 		}
 	})
 	return nil, nil
 }
 
 // isExpansion reports whether call advances a search frontier: Next on an
-// irtree iterator or Pop on a pqueue queue.
-func isExpansion(pass *analysis.Pass, call *ast.CallExpr) bool {
+// irtree iterator or Pop on a pqueue queue — or, in the shard package, a
+// Backend data-plane call issued from a fan-out loop.
+func isExpansion(pass *analysis.Pass, call *ast.CallExpr, shardMode bool) bool {
 	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
 	if fn == nil {
 		return false
@@ -132,6 +150,8 @@ func isExpansion(pass *analysis.Pass, call *ast.CallExpr) bool {
 		return lintutil.PkgIs(fn.Pkg(), "irtree")
 	case "Pop":
 		return lintutil.PkgIs(fn.Pkg(), "pqueue")
+	case "Meta", "NN", "Collect":
+		return shardMode && lintutil.IsMethodOn(fn, "shard", "Backend", fn.Name())
 	}
 	return false
 }

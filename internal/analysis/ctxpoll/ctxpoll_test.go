@@ -8,5 +8,5 @@ import (
 )
 
 func TestAnalyzer(t *testing.T) {
-	analyzertest.Run(t, "testdata", ctxpoll.Analyzer, "core")
+	analyzertest.Run(t, "testdata", ctxpoll.Analyzer, "core", "shard")
 }

@@ -1,0 +1,81 @@
+// Fixture for ctxpoll's shard mode: serial fan-out loops over Backend
+// data-plane calls must poll the context between shards.
+package shard
+
+import "context"
+
+type Meta struct{ N int }
+
+type Backend interface {
+	Name() string
+	Meta(ctx context.Context) (Meta, error)
+	NN(ctx context.Context, word string) (float64, error)
+	Collect(ctx context.Context, radius float64) ([]int, error)
+}
+
+type Router struct{ Backends []Backend }
+
+// The Init shape with a poll between backends: clean.
+func (r *Router) InitPolled(ctx context.Context) error {
+	for _, b := range r.Backends {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := b.Meta(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Marching through every backend with no poll: a cancelled scatter
+// still pays one timeout per remaining shard.
+func (r *Router) InitUnpolled(ctx context.Context) error {
+	for _, b := range r.Backends {
+		if _, err := b.Meta(ctx); err != nil { // want "fan-out loop issues shard calls but never polls"
+			return err
+		}
+	}
+	return nil
+}
+
+// pollCtx is a same-package helper that directly polls; calling it from
+// the loop satisfies the obligation (one level of indirection).
+func pollCtx(ctx context.Context) error { return ctx.Err() }
+
+func (r *Router) CollectAll(ctx context.Context, radius float64) error {
+	for _, b := range r.Backends {
+		if err := pollCtx(ctx); err != nil {
+			return err
+		}
+		if _, err := b.Collect(ctx, radius); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Select on ctx.Done() also satisfies the obligation.
+func (r *Router) NNAll(ctx context.Context, word string) error {
+	for _, b := range r.Backends {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		if _, err := b.NN(ctx, word); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// A loop that only reads Name() issues no data-plane calls: no
+// obligation.
+func (r *Router) Names() []string {
+	out := make([]string, 0, len(r.Backends))
+	for _, b := range r.Backends {
+		out = append(out, b.Name())
+	}
+	return out
+}

@@ -1,0 +1,346 @@
+// Package detmaps defines an analyzer enforcing the repository's
+// determinism contract on map iteration: Go randomizes map range order,
+// so any loop that lets that order escape into a result slice or
+// serialized output produces answers that flap from run to run.
+//
+// The invariant matters doubly here. The sharding tier promises
+// router ≡ engine bit-for-bit (the differential suite compares canonical
+// answer sets), the metrics exposition promises byte-stable /metrics
+// pages (golden tests diff them), and stitched trace exports promise
+// deterministic attribute order. All three sit downstream of map
+// iteration; one unsorted extraction re-introduces the flap the
+// (cost, ord) merge contract was built to remove.
+package detmaps
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check that map iteration order cannot escape into deterministic results
+
+In the engine and distributed-tier packages (import path bases core,
+shard, client, server, metrics, trace), a range over a map must not let
+the iteration order escape: appending the key/value (or anything derived
+from them) to a slice that outlives the loop requires the slice to be
+sorted in the same function (directly via sort/slices, or through a
+same-package helper that sorts), and writing them straight into an
+io.Writer/fmt output or encoder is reported outright. Order-insensitive
+bodies — map writes, commutative accumulation — are fine.
+
+In _test.go files of the same packages the analyzer instead flags tests
+that range over a map literal of cases and report failures from the loop
+body: the failure output order is nondeterministic across runs, so case
+tables belong in sorted slices of structs.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "detmaps",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// scopedBases are the package-path bases the analyzer runs on.
+var scopedBases = map[string]bool{
+	"core": true, "shard": true, "client": true,
+	"server": true, "metrics": true, "trace": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scopedBases[lintutil.PathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	// Pre-scan: same-package functions that sort one of their arguments
+	// (they contain a direct sort/slices call). Passing an extracted
+	// slice to one of these discharges the sort obligation — the
+	// sortByFamily pattern.
+	sorters := make(map[string]bool)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil {
+			return
+		}
+		found := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok && isSortCall(pass, call) {
+				found = true
+			}
+			return true
+		})
+		if found {
+			sorters[decl.Name.Name] = true
+		}
+	})
+
+	ins.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return true
+		}
+		rs := n.(*ast.RangeStmt)
+		if strings.HasSuffix(pass.Fset.Position(rs.Pos()).Filename, "_test.go") {
+			checkTestRange(pass, rep, rs)
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Map); !ok {
+			return true
+		}
+		loopVars := rangeVars(pass, rs)
+		if len(loopVars) == 0 {
+			return true
+		}
+		enclosing := enclosingFuncBody(stack)
+		checkMapRange(pass, rep, rs, loopVars, enclosing, sorters)
+		return true
+	})
+	return nil, nil
+}
+
+// rangeVars returns the objects of the range statement's key/value vars.
+func rangeVars(pass *analysis.Pass, rs *ast.RangeStmt) map[types.Object]bool {
+	vars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			vars[obj] = true
+		} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			vars[obj] = true
+		}
+	}
+	return vars
+}
+
+// enclosingFuncBody returns the body of the innermost function
+// containing the top of stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch f := stack[i].(type) {
+		case *ast.FuncDecl:
+			return f.Body
+		case *ast.FuncLit:
+			return f.Body
+		}
+	}
+	return nil
+}
+
+// checkMapRange reports order escapes from one map-range loop.
+func checkMapRange(pass *analysis.Pass, rep *lintutil.Reporter, rs *ast.RangeStmt, loopVars map[types.Object]bool, enclosing *ast.BlockStmt, sorters map[string]bool) {
+	lintutil.WalkLocal(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// v = append(v, <mentions key/value>) where v outlives the loop.
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isAppend(pass, call) || len(call.Args) < 2 {
+				return true
+			}
+			escapes := false
+			for _, arg := range call.Args[1:] {
+				if mentionsAny(pass, arg, loopVars) {
+					escapes = true
+				}
+			}
+			if !escapes {
+				return true
+			}
+			target, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[target]
+			if obj == nil {
+				obj = pass.TypesInfo.Defs[target]
+			}
+			if obj == nil || declaredWithin(obj, rs.Body) {
+				return true // per-iteration scratch dies with the iteration
+			}
+			if enclosing != nil && sortedInFunc(pass, enclosing, obj, sorters) {
+				return true
+			}
+			rep.Reportf(n, "map iteration order escapes into %s: sort the extracted slice (sort/slices, or a sorting helper) before it feeds results, a merge, or serialized output", target.Name)
+		case *ast.CallExpr:
+			// Direct serialization of the loop vars: fmt output, Write*,
+			// or an encoder. There is no later point to sort at.
+			if !isOutputCall(pass, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentionsAny(pass, arg, loopVars) {
+					rep.Reportf(n, "map iteration order is serialized directly: extract and sort the keys first so the output is deterministic")
+					return true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkTestRange flags the map-literal case-table idiom in tests.
+func checkTestRange(pass *analysis.Pass, rep *lintutil.Reporter, rs *ast.RangeStmt) {
+	lit, ok := ast.Unparen(rs.X).(*ast.CompositeLit)
+	if !ok {
+		return
+	}
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	fails := false
+	lintutil.WalkLocal(rs.Body, func(n ast.Node) bool {
+		if fails {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isTestReport(pass, call) {
+			fails = true
+		}
+		return true
+	})
+	if fails {
+		rep.Reportf(rs, "test ranges over a map literal of cases: failure output order is nondeterministic across runs; use a sorted slice-of-structs table")
+	}
+}
+
+// isAppend reports whether call is the append builtin.
+func isAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// isSortCall reports whether call invokes the sort or slices package.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sort" || fn.Pkg().Path() == "slices"
+}
+
+// isOutputCall reports whether call serializes its arguments: fmt
+// output, a Write*/Encode method, or similar.
+func isOutputCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint") {
+		return true
+	}
+	switch fn.Name() {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+		return fn.Type().(*types.Signature).Recv() != nil
+	}
+	return false
+}
+
+// isTestReport reports whether call reports through a *testing.T/B/F.
+func isTestReport(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Error", "Errorf", "Fatal", "Fatalf", "Log", "Logf", "Skip", "Skipf", "Fail", "FailNow":
+	default:
+		return false
+	}
+	n := lintutil.NamedRecv(fn)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	if n.Obj().Pkg().Path() != "testing" {
+		return false
+	}
+	switch n.Obj().Name() {
+	case "T", "B", "F", "common":
+		return true
+	}
+	return false
+}
+
+// mentionsAny reports whether expr mentions any of the given objects.
+func mentionsAny(pass *analysis.Pass, expr ast.Node, objs map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && objs[pass.TypesInfo.Uses[id]] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether obj's declaration lies inside node.
+func declaredWithin(obj types.Object, node ast.Node) bool {
+	return obj.Pos() >= node.Pos() && obj.Pos() < node.End()
+}
+
+// sortedInFunc reports whether obj is passed to a sorting call (sort or
+// slices package, or a same-package helper that sorts) anywhere in body.
+func sortedInFunc(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, sorters map[string]bool) bool {
+	sorted := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		isSorter := isSortCall(pass, call)
+		if !isSorter {
+			fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+			isSorter = fn != nil && fn.Pkg() == pass.Pkg && sorters[fn.Name()]
+		}
+		if !isSorter {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pass, arg, obj) {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func mentions(pass *analysis.Pass, expr ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

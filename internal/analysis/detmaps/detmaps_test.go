@@ -1,0 +1,12 @@
+package detmaps_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/detmaps"
+)
+
+func TestDetmaps(t *testing.T) {
+	analyzertest.Run(t, "testdata", detmaps.Analyzer, "shard", "other")
+}

@@ -1,0 +1,14 @@
+// Out-of-scope package: detmaps only runs on the engine and
+// distributed-tier package bases, so nothing here is reported.
+package other
+
+import (
+	"fmt"
+	"io"
+)
+
+func serialize(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}

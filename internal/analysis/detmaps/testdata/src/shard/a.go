@@ -1,0 +1,90 @@
+// Fixture for the detmaps analyzer: the package path base "shard" puts
+// it in scope, mirroring the router/federation extraction idioms.
+package shard
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Unsorted extraction: iteration order escapes into the result.
+func extractUnsorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name) // want "map iteration order escapes into names"
+	}
+	return names
+}
+
+// Sorted extraction: the canonical keyed-extraction idiom.
+func extractSorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortByFamily mirrors the metrics exposition helper: a same-package
+// function that sorts its argument.
+func sortByFamily(names []string) {
+	sort.Slice(names, func(i, j int) bool { return names[i] < names[j] })
+}
+
+// Extraction discharged through a sorting helper.
+func extractHelperSorted(m map[string]int) []string {
+	var names []string
+	for name := range m {
+		names = append(names, name)
+	}
+	sortByFamily(names)
+	return names
+}
+
+// Serializing straight out of the loop: no later point to sort at.
+func serialize(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want "map iteration order is serialized directly"
+	}
+}
+
+// Order-insensitive accumulation is fine.
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Map-to-map copies are order-insensitive.
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Per-iteration scratch that dies with the iteration carries no
+// obligation; the inner extraction sorts before use.
+func localScratch(m map[string]map[string]int) {
+	for _, inner := range m {
+		var keys []string
+		for k := range inner {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		_ = keys
+	}
+}
+
+// A justified suppression silences the diagnostic.
+func suppressed(w io.Writer, m map[string]int) {
+	for k := range m {
+		//coskq:nolint(detmaps) debug dump only; order is intentionally free
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,183 @@
+// Package errtyped defines an analyzer enforcing the typed cross-shard
+// failure contract: errors born on the shard data plane must be wrapped
+// as *ShardError before they cross the internal/shard package boundary.
+//
+// Degradation policy classifies failures by shard and phase — the
+// Router's failError picks the minimum-ordinal ShardError so retries and
+// degraded answers are deterministic, the coordinator maps undegradable
+// ShardErrors to 502, and the metrics layer attributes failures per
+// shard. A raw transport error escaping an exported shard API bypasses
+// all of that: the caller sees an unclassifiable error and the
+// degradation decision becomes "fail closed", which is the outage the
+// lenient policy exists to avoid.
+package errtyped
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check that shard data-plane errors are wrapped as ShardError at the boundary
+
+In the shard package (import path base "shard"), an exported function or
+method that returns an error received straight from a Backend
+Meta/NN/Collect call or a client.Client RPC must not return it bare —
+it must be wrapped as &ShardError{...} (or classified through failError)
+first, so degradation policy and the 502 mapping can always attribute
+the failure to a shard and phase. Re-wrapping with fmt.Errorf is also
+reported: it hides the classification just as thoroughly. Unexported
+helpers (the callShard shape) and methods on types that themselves
+implement Backend (they ARE the data plane; the Router wraps their
+errors) are exempt, as are test files.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "errtyped",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !lintutil.PkgIs(pass.Pkg, "shard") {
+		return nil, nil
+	}
+	// The Backend interface anchors both the taint sources and the
+	// implementer exemption; without it there is no data plane to check.
+	iface := backendInterface(pass.Pkg)
+	if iface == nil {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		if decl.Body == nil || !decl.Name.IsExported() {
+			return
+		}
+		if strings.HasSuffix(pass.Fset.Position(decl.Pos()).Filename, "_test.go") {
+			return
+		}
+		fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if fn == nil || !lintutil.ReturnsError(fn.Type().(*types.Signature)) {
+			return
+		}
+		if implementsBackend(fn, iface) {
+			return
+		}
+		checkFunc(pass, rep, decl)
+	})
+	return nil, nil
+}
+
+// backendInterface returns the package's Backend interface type, if any.
+func backendInterface(pkg *types.Package) *types.Interface {
+	obj := pkg.Scope().Lookup("Backend")
+	if obj == nil {
+		return nil
+	}
+	named, ok := obj.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	iface, _ := named.Underlying().(*types.Interface)
+	return iface
+}
+
+// implementsBackend reports whether fn is a method on a type that
+// implements the Backend interface (by value or pointer).
+func implementsBackend(fn *types.Func, iface *types.Interface) bool {
+	n := lintutil.NamedRecv(fn)
+	if n == nil {
+		return false
+	}
+	return types.Implements(n, iface) || types.Implements(types.NewPointer(n), iface)
+}
+
+// isRemoteCall reports whether call hits the shard data plane: a Backend
+// interface method or a client.Client RPC.
+func isRemoteCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if n := lintutil.NamedRecv(fn); n != nil {
+		if n.Obj().Name() == "Backend" && lintutil.PkgIs(n.Obj().Pkg(), "shard") {
+			return true
+		}
+		if n.Obj().Name() == "Client" && lintutil.PkgIs(n.Obj().Pkg(), "client") {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// checkFunc walks one exported function in source order, tracking error
+// variables assigned from remote calls and reporting returns that let
+// them cross the boundary unclassified.
+func checkFunc(pass *analysis.Pass, rep *lintutil.Reporter, decl *ast.FuncDecl) {
+	tainted := make(map[types.Object]bool)
+	objOf := func(id *ast.Ident) types.Object {
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Uses[id]
+	}
+	lintutil.WalkLocal(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, isCall := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			remote := isCall && isRemoteCall(pass, call)
+			for _, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := objOf(id)
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				// Reassignment from a non-remote source clears the taint.
+				delete(tainted, obj)
+				if remote {
+					tainted[obj] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				switch res := ast.Unparen(res).(type) {
+				case *ast.Ident:
+					if obj := pass.TypesInfo.Uses[res]; obj != nil && tainted[obj] {
+						rep.Reportf(n, "error from a shard call crosses the package boundary untyped: wrap it as &ShardError{Name, Shard, Phase, Err} (or classify via failError) so degradation policy can attribute the failure")
+					}
+				case *ast.CallExpr:
+					if fn := lintutil.CalleeFunc(pass.TypesInfo, res); fn != nil &&
+						fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf" {
+						for _, arg := range res.Args {
+							if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+								if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+									rep.Reportf(n, "shard call error re-wrapped with fmt.Errorf loses the ShardError classification: wrap it as &ShardError{...} instead")
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,12 @@
+package errtyped_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/errtyped"
+)
+
+func TestErrtyped(t *testing.T) {
+	analyzertest.Run(t, "testdata", errtyped.Analyzer, "shard")
+}

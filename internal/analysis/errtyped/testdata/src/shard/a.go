@@ -1,0 +1,98 @@
+// Fixture for the errtyped analyzer, mirroring the Router/Backend
+// boundary of internal/shard.
+package shard
+
+import (
+	"context"
+	"fmt"
+)
+
+type ShardError struct {
+	Name  string
+	Shard int
+	Phase string
+	Err   error
+}
+
+func (e *ShardError) Error() string { return e.Phase }
+func (e *ShardError) Unwrap() error { return e.Err }
+
+type Meta struct{ N int }
+
+type Backend interface {
+	Name() string
+	Meta(ctx context.Context) (Meta, error)
+}
+
+type Router struct{ Backends []Backend }
+
+// Clean: every data-plane error is wrapped before it crosses the
+// boundary; the ctx.Err() return is not a shard failure.
+func (r *Router) Init(ctx context.Context) error {
+	for i, b := range r.Backends {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := b.Meta(ctx); err != nil {
+			return &ShardError{Name: b.Name(), Shard: i, Phase: "meta", Err: err}
+		}
+	}
+	return nil
+}
+
+// Bare return of a Backend error: the caller cannot attribute it.
+func (r *Router) InitRaw(ctx context.Context) error {
+	for _, b := range r.Backends {
+		if _, err := b.Meta(ctx); err != nil {
+			return err // want "crosses the package boundary untyped"
+		}
+	}
+	return nil
+}
+
+// fmt.Errorf hides the classification just as thoroughly.
+func (r *Router) InitWrapped(ctx context.Context) error {
+	_, err := r.Backends[0].Meta(ctx)
+	if err != nil {
+		return fmt.Errorf("meta: %w", err) // want "loses the ShardError classification"
+	}
+	return nil
+}
+
+// Unexported helpers may return raw errors: their exported callers
+// classify (the callShard shape).
+func callShard(ctx context.Context, b Backend) error {
+	_, err := b.Meta(ctx)
+	return err
+}
+
+// Reassignment from a non-remote source clears the taint.
+func (r *Router) InitRecheck(ctx context.Context) error {
+	_, err := r.Backends[0].Meta(ctx)
+	if err != nil {
+		err = ctx.Err()
+		return err
+	}
+	return nil
+}
+
+// A type that itself implements Backend IS the data plane; the Router
+// wraps its errors, so its methods may return them raw.
+type FakeBackend struct{ inner Backend }
+
+func (f *FakeBackend) Name() string { return "fake" }
+
+func (f *FakeBackend) Meta(ctx context.Context) (Meta, error) {
+	m, err := f.inner.Meta(ctx)
+	return m, err
+}
+
+// A justified suppression silences the diagnostic.
+func (r *Router) InitSuppressed(ctx context.Context) error {
+	_, err := r.Backends[0].Meta(ctx)
+	if err != nil {
+		//coskq:nolint(errtyped) experimental probe API; callers classify via errors.As upstream
+		return err
+	}
+	return nil
+}

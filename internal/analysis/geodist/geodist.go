@@ -43,6 +43,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	rep := lintutil.NewReporter(pass)
 	if lintutil.PkgIs(pass.Pkg, "geo") || lintutil.PkgIs(pass.Pkg, "rtree") {
 		return nil, nil
 	}
@@ -58,10 +59,10 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		}
 		switch fn.Name() {
 		case "Hypot":
-			pass.ReportRangef(call, "math.Hypot outside internal/geo: route distance math through geo.Point.Dist so costs stay consistent")
+			rep.Reportf(call, "math.Hypot outside internal/geo: route distance math through geo.Point.Dist so costs stay consistent")
 		case "Sqrt":
 			if len(call.Args) == 1 && isSumOfSquares(pass.Fset, call.Args[0]) {
-				pass.ReportRangef(call, "inline Euclidean distance outside internal/geo: route distance math through geo.Point.Dist so costs stay consistent")
+				rep.Reportf(call, "inline Euclidean distance outside internal/geo: route distance math through geo.Point.Dist so costs stay consistent")
 			}
 		}
 	})

@@ -1,0 +1,95 @@
+package lintutil
+
+// Justified suppression for the coskq-lint suite. A diagnostic may be
+// silenced with
+//
+//	//coskq:nolint(analyzer) reason the next reader needs
+//	//coskq:nolint(analyzer1,analyzer2) one reason covering both
+//
+// placed on the flagged line or on the line directly above it. The
+// reason is mandatory: a bare //coskq:nolint(analyzer) suppresses
+// nothing and is itself reported, so an unexplained suppression can
+// never pass CI silently. Suppressions are per-analyzer — there is no
+// wildcard — and every analyzer in the suite routes its reports through
+// Reporter so the policy is uniform.
+
+import (
+	"go/token"
+	"regexp"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+var nolintRE = regexp.MustCompile(`^//\s*coskq:nolint\(([^)]*)\)\s*(.*)$`)
+
+// Reporter filters an analyzer's diagnostics through the pass's
+// //coskq:nolint comments. Build one per run with NewReporter and emit
+// every diagnostic through Reportf.
+type Reporter struct {
+	pass *analysis.Pass
+	// suppressed maps (filename, line) to true for lines covered by a
+	// justified nolint naming this pass's analyzer.
+	suppressed map[posKey]bool
+}
+
+type posKey struct {
+	file string
+	line int
+}
+
+// NewReporter scans the pass's files for //coskq:nolint comments
+// addressed to this analyzer. Malformed suppressions — an empty
+// analyzer list or a missing reason — are reported immediately (once,
+// by whichever analyzer they name first encounters them) so they can
+// never silently rot.
+func NewReporter(pass *analysis.Pass) *Reporter {
+	r := &Reporter{pass: pass, suppressed: make(map[posKey]bool)}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := nolintRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				names, reason := m[1], strings.TrimSpace(m[2])
+				covers := false
+				for _, name := range strings.Split(names, ",") {
+					if strings.TrimSpace(name) == pass.Analyzer.Name {
+						covers = true
+					}
+				}
+				if !covers {
+					continue
+				}
+				if reason == "" {
+					pass.Reportf(c.Pos(), "coskq:nolint(%s) without a reason: a suppression must justify itself (//coskq:nolint(%s) <reason>)",
+						pass.Analyzer.Name, pass.Analyzer.Name)
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				// The suppression covers its own line (trailing comment)
+				// and the line below (comment on its own line).
+				r.suppressed[posKey{pos.Filename, pos.Line}] = true
+				r.suppressed[posKey{pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return r
+}
+
+// Suppressed reports whether a diagnostic at pos is covered by a
+// justified nolint for this analyzer.
+func (r *Reporter) Suppressed(pos token.Pos) bool {
+	p := r.pass.Fset.Position(pos)
+	return r.suppressed[posKey{p.Filename, p.Line}]
+}
+
+// Reportf emits a diagnostic at rng unless a justified
+// //coskq:nolint(analyzer) covers its line.
+func (r *Reporter) Reportf(rng analysis.Range, format string, args ...interface{}) {
+	if r.Suppressed(rng.Pos()) {
+		return
+	}
+	r.pass.ReportRangef(rng, format, args...)
+}

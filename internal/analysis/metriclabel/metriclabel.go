@@ -1,0 +1,438 @@
+// Package metriclabel defines an analyzer enforcing bounded metric
+// cardinality: every label value (and labeled metric name) handed to the
+// metrics registry must come from a compile-time-known vocabulary.
+//
+// The registry interns one time series per distinct name string, and the
+// coordinator's federated /metrics page is the union of every peer's
+// series. A single request-derived label — a raw URL path, a
+// user-supplied keyword, an error's Error() text — turns that into an
+// unbounded allocation: memory grows with attacker-chosen input, the
+// exposition page grows without limit, and the byte-stable-exposition
+// determinism tests stop meaning anything. Bounded sources are: untyped
+// constants, enum String()/Name() methods, numeric values (shard
+// ordinals, status codes), named string types (whose declaration is the
+// audited vocabulary), and same-package helpers that only ever return
+// those.
+package metriclabel
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check that metric label values come from bounded, compile-time-known sets
+
+Every name passed to Registry.Counter/Gauge/Histogram must be provably
+bounded: built from constants, fmt.Sprintf over bounded operands,
+numeric values, enum String()/Name() methods, values of named string
+types (the type declaration is the audited vocabulary), or same-package
+functions whose every return is bounded. When a bounded obligation flows
+into a function parameter (the Metrics.call(phase, name) shape), every
+call site of that function must pass a bounded argument — the analyzer
+propagates the obligation through same-package calls, direct closure
+invocations included. A request-derived string reaching a metric name
+is a cardinality explosion: one time series is interned per distinct
+label value, forever. Test files are exempt.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "metriclabel",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+// checker carries the per-package analysis state.
+type checker struct {
+	pass *analysis.Pass
+	rep  *lintutil.Reporter
+
+	// decls maps package functions to their declarations, for bounded
+	// result analysis and call-site scanning.
+	decls map[*types.Func]*ast.FuncDecl
+	// paramOf maps each parameter object of a package function to its
+	// (function, index), so obligations can propagate to call sites.
+	paramOf map[types.Object]paramRef
+	// litArg maps a directly-invoked closure's parameter to the argument
+	// expression at the invocation (the go func(name string){...}(b.Name())
+	// shape).
+	litArg map[types.Object]ast.Expr
+	// calls lists every call expression in non-test files, for demand
+	// scanning.
+	calls []*ast.CallExpr
+
+	// demanded marks (fn, index) pairs whose call sites must pass bounded
+	// arguments; checkedCalls guards against re-reporting.
+	demanded map[paramRef]bool
+	pending  []paramRef
+	// resultMemo caches bounded-result verdicts; in-progress entries are
+	// optimistic so recursive helpers don't loop.
+	resultMemo map[resultKey]bool
+	// reported de-duplicates diagnostics per position.
+	reported map[ast.Node]bool
+}
+
+type paramRef struct {
+	fn  *types.Func
+	idx int
+}
+
+type resultKey struct {
+	fn  *types.Func
+	idx int
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	c := &checker{
+		pass:       pass,
+		rep:        lintutil.NewReporter(pass),
+		decls:      make(map[*types.Func]*ast.FuncDecl),
+		paramOf:    make(map[types.Object]paramRef),
+		litArg:     make(map[types.Object]ast.Expr),
+		demanded:   make(map[paramRef]bool),
+		resultMemo: make(map[resultKey]bool),
+		reported:   make(map[ast.Node]bool),
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	isTest := func(n ast.Node) bool {
+		return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+	}
+
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.CallExpr)(nil)}, func(n ast.Node) {
+		if isTest(n) {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			fn, _ := pass.TypesInfo.Defs[n.Name].(*types.Func)
+			if fn == nil {
+				return
+			}
+			c.decls[fn] = n
+			sig := fn.Type().(*types.Signature)
+			for i := 0; i < sig.Params().Len(); i++ {
+				c.paramOf[sig.Params().At(i)] = paramRef{fn, i}
+			}
+		case *ast.CallExpr:
+			c.calls = append(c.calls, n)
+			if lit, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				c.mapLitParams(lit, n)
+			}
+		}
+	})
+
+	// Seed: every registry sink must get a bounded name.
+	for _, call := range c.calls {
+		if c.isSink(call) && len(call.Args) > 0 {
+			c.require(call.Args[0])
+		}
+	}
+	// Propagate obligations that flowed into function parameters to every
+	// call site, to a fixed point.
+	for len(c.pending) > 0 {
+		ref := c.pending[0]
+		c.pending = c.pending[1:]
+		for _, call := range c.calls {
+			if lintutil.CalleeFunc(pass.TypesInfo, call) != ref.fn {
+				continue
+			}
+			if ref.idx < len(call.Args) {
+				c.require(call.Args[ref.idx])
+			}
+		}
+	}
+	return nil, nil
+}
+
+// mapLitParams records the param→argument mapping of a directly invoked
+// function literal.
+func (c *checker) mapLitParams(lit *ast.FuncLit, call *ast.CallExpr) {
+	i := 0
+	for _, field := range lit.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			i++
+			continue
+		}
+		for _, name := range names {
+			if i < len(call.Args) {
+				if obj := c.pass.TypesInfo.Defs[name]; obj != nil {
+					c.litArg[obj] = call.Args[i]
+				}
+			}
+			i++
+		}
+	}
+}
+
+// isSink reports whether call is a Registry.Counter/Gauge/Histogram
+// call from the metrics package.
+func (c *checker) isSink(call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	switch fn.Name() {
+	case "Counter", "Gauge", "Histogram":
+		return lintutil.IsMethodOn(fn, "metrics", "Registry", fn.Name())
+	}
+	return false
+}
+
+// require checks one expression that must be bounded, reporting if not.
+func (c *checker) require(e ast.Expr) {
+	if c.bounded(e) || c.reported[e] {
+		return
+	}
+	c.reported[e] = true
+	c.rep.Reportf(e, "metric name/label is not provably bounded: label values must come from a compile-time-known set (const, enum String/Name, numeric, a named label type, or a helper returning only those) — a request-derived string interns one time series per distinct value, forever")
+}
+
+// demand registers that every call site of ref.fn must pass a bounded
+// argument at ref.idx.
+func (c *checker) demand(ref paramRef) {
+	if c.demanded[ref] {
+		return
+	}
+	c.demanded[ref] = true
+	c.pending = append(c.pending, ref)
+}
+
+// bounded reports whether e provably draws from a compile-time-known
+// vocabulary.
+func (c *checker) bounded(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	info := c.pass.TypesInfo
+
+	// Constant expressions of any type are bounded.
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return true
+	}
+	// Type-level boundedness: anything non-string (ints, floats, bools —
+	// shard ordinals, status codes) and named string types, whose
+	// declaration is the audited vocabulary.
+	if t := info.TypeOf(e); t != nil {
+		if b, ok := t.Underlying().(*types.Basic); ok {
+			if b.Info()&types.IsString == 0 && b.Kind() != types.Invalid {
+				return true
+			}
+			if named, ok := t.(*types.Named); ok && named.Obj().Pkg() != nil {
+				return true
+			}
+		}
+	}
+
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		return c.bounded(e.X) && c.bounded(e.Y)
+	case *ast.CallExpr:
+		return c.boundedCall(e)
+	case *ast.Ident:
+		return c.boundedIdent(e)
+	}
+	return false
+}
+
+// boundedCall handles the call shapes that preserve boundedness.
+func (c *checker) boundedCall(call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		// A conversion T(x) keeps x's boundedness (the DegradeReason(s) /
+		// string(reason) shapes).
+		if len(call.Args) == 1 {
+			if tv, ok := c.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+				return c.bounded(call.Args[0])
+			}
+		}
+		return false
+	}
+	// fmt.Sprintf over bounded operands is bounded.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Sprintf" {
+		for _, arg := range call.Args {
+			if !c.bounded(arg) {
+				return false
+			}
+		}
+		return true
+	}
+	// strconv.Itoa/FormatInt etc. over numerics: the numeric argument is
+	// already bounded by type, so delegate to the operands.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "strconv" {
+		for _, arg := range call.Args {
+			if !c.bounded(arg) {
+				return false
+			}
+		}
+		return true
+	}
+	sig := fn.Type().(*types.Signature)
+	// Identity methods: Name() with no arguments (shard/partitioner
+	// identity — the backend set is fixed at construction), and String()
+	// on an enum (named type with non-string underlying).
+	if sig.Recv() != nil && len(call.Args) == 0 {
+		if fn.Name() == "Name" {
+			return true
+		}
+		if fn.Name() == "String" {
+			if n := lintutil.NamedRecv(fn); n != nil {
+				if b, ok := n.Underlying().(*types.Basic); ok && b.Info()&types.IsString == 0 {
+					return true
+				}
+			}
+		}
+	}
+	// A same-package function is bounded if every return is.
+	if fn.Pkg() == c.pass.Pkg && sig.Results().Len() == 1 {
+		return c.boundedResult(fn, 0)
+	}
+	return false
+}
+
+// boundedIdent resolves a plain-string identifier: closure arguments,
+// label parameters (obligation propagates to call sites), and local
+// variables (every assignment must be bounded).
+func (c *checker) boundedIdent(id *ast.Ident) bool {
+	obj := c.pass.TypesInfo.Uses[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	if _, ok := obj.(*types.Const); ok {
+		return true
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	// Directly-invoked closure parameter: bounded iff the argument is.
+	if arg, ok := c.litArg[v]; ok {
+		return c.bounded(arg)
+	}
+	// Parameter of a package function: optimistically bounded here; the
+	// obligation moves to every call site.
+	if ref, ok := c.paramOf[v]; ok {
+		c.demand(ref)
+		return true
+	}
+	// Local variable: every assignment reaching it must be bounded.
+	return c.boundedLocal(v)
+}
+
+// boundedLocal scans the function declaring v for its assignments.
+func (c *checker) boundedLocal(v *types.Var) bool {
+	body := c.declaringBody(v)
+	if body == nil {
+		return false
+	}
+	found := false
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		if !ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				id, isIdent := lhs.(*ast.Ident)
+				if !isIdent {
+					continue
+				}
+				obj := c.pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = c.pass.TypesInfo.Uses[id]
+				}
+				if obj != v {
+					continue
+				}
+				found = true
+				if len(n.Rhs) == len(n.Lhs) {
+					if !c.bounded(n.Rhs[i]) {
+						ok = false
+					}
+				} else if len(n.Rhs) == 1 {
+					// Destructured from a multi-result call.
+					call, isCall := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+					fn := lintutil.CalleeFunc(c.pass.TypesInfo, call)
+					if !isCall || fn == nil || fn.Pkg() != c.pass.Pkg || !c.boundedResult(fn, i) {
+						ok = false
+					}
+				} else {
+					ok = false
+				}
+			}
+		case *ast.RangeStmt:
+			// Range vars over arbitrary collections are unbounded.
+			for _, e := range []ast.Expr{n.Key, n.Value} {
+				if id, isIdent := e.(*ast.Ident); isIdent {
+					if c.pass.TypesInfo.Defs[id] == v || c.pass.TypesInfo.Uses[id] == v {
+						found, ok = true, false
+					}
+				}
+			}
+		}
+		return ok
+	})
+	return found && ok
+}
+
+// declaringBody returns the body of the function declaring v.
+func (c *checker) declaringBody(v *types.Var) *ast.BlockStmt {
+	for _, decl := range c.decls {
+		if decl.Body != nil && v.Pos() >= decl.Body.Pos() && v.Pos() < decl.Body.End() {
+			return decl.Body
+		}
+	}
+	return nil
+}
+
+// boundedResult reports whether every return of fn is bounded at result
+// index idx. In-progress entries are optimistic so mutual recursion
+// terminates.
+func (c *checker) boundedResult(fn *types.Func, idx int) bool {
+	key := resultKey{fn, idx}
+	if r, ok := c.resultMemo[key]; ok {
+		return r
+	}
+	decl, ok := c.decls[fn]
+	if !ok || decl.Body == nil {
+		return false
+	}
+	c.resultMemo[key] = true // optimistic, for recursion
+	bounded := true
+	lintutil.WalkLocal(decl.Body, func(n ast.Node) bool {
+		if !bounded {
+			return false
+		}
+		ret, isRet := n.(*ast.ReturnStmt)
+		if !isRet {
+			return true
+		}
+		switch {
+		case idx < len(ret.Results):
+			if !c.bounded(ret.Results[idx]) {
+				bounded = false
+			}
+		case len(ret.Results) == 1:
+			// Tuple forwarded from another call.
+			call, isCall := ast.Unparen(ret.Results[0]).(*ast.CallExpr)
+			inner := lintutil.CalleeFunc(c.pass.TypesInfo, call)
+			if !isCall || inner == nil || inner.Pkg() != c.pass.Pkg || !c.boundedResult(inner, idx) {
+				bounded = false
+			}
+		default:
+			bounded = false // naked return
+		}
+		return bounded
+	})
+	c.resultMemo[key] = bounded
+	return bounded
+}

@@ -1,0 +1,12 @@
+package metriclabel_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/metriclabel"
+)
+
+func TestMetricLabel(t *testing.T) {
+	analyzertest.Run(t, "testdata", metriclabel.Analyzer, "server")
+}

@@ -1,0 +1,16 @@
+// Minimal stand-in for internal/metrics: just enough surface for the
+// metriclabel fixtures to type-check. The package path base "metrics"
+// is what the analyzer matches on.
+package metrics
+
+type Counter struct{}
+
+func (c *Counter) Inc()           {}
+func (c *Counter) Add(n uint64)   {}
+func (c *Counter) Observe(v float64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter                      { return &Counter{} }
+func (r *Registry) Gauge(name string) *Counter                        { return &Counter{} }
+func (r *Registry) Histogram(name string, buckets []float64) *Counter { return &Counter{} }

@@ -1,0 +1,117 @@
+// Fixture for the metriclabel analyzer, mirroring the repo's labeled
+// metric idioms: Sprintf label building, label-parameter helpers, enum
+// String() values, shard Name() identity, and closure fan-out.
+package server
+
+import (
+	"fmt"
+
+	"metrics"
+)
+
+// Method mirrors the core enums: String() on a non-string underlying
+// type is a bounded vocabulary.
+type Method int
+
+func (m Method) String() string { return [...]string{"exact", "appro"}[m] }
+
+// Reason mirrors core.DegradeReason: a named string type is an audited
+// vocabulary — its declaration is the place to review values.
+type Reason string
+
+const ReasonBudget Reason = "budget"
+
+type backend struct{}
+
+func (b backend) Name() string { return "s0" }
+
+type request struct{ Path string }
+
+// Plain constant names are bounded.
+func plain(reg *metrics.Registry) {
+	reg.Counter("coskq_queries_total").Inc()
+}
+
+// Enum String(), numeric ordinals, and named string types are bounded.
+func labeled(reg *metrics.Registry, m Method, ord int, why Reason) {
+	reg.Counter(fmt.Sprintf("coskq_queries_total{method=%q}", m.String())).Inc()
+	reg.Counter(fmt.Sprintf("coskq_shard_calls_total{shard=\"%d\"}", ord)).Inc()
+	reg.Counter(fmt.Sprintf("coskq_degraded_total{reason=%q}", why)).Inc()
+}
+
+// A label parameter: bounded here, the obligation moves to call sites.
+func record(reg *metrics.Registry, phase string) {
+	reg.Counter(fmt.Sprintf("coskq_calls_total{phase=%q}", phase)).Inc()
+}
+
+// Call sites passing literals satisfy the moved obligation.
+func goodCaller(reg *metrics.Registry) {
+	record(reg, "nn")
+	record(reg, "collect")
+}
+
+// A request-derived value at a label-parameter call site is the
+// cardinality explosion.
+func badCaller(reg *metrics.Registry, r request) {
+	record(reg, r.Path) // want "not provably bounded"
+}
+
+// Direct sink violation: unbounded string reaches the name.
+func badDirect(reg *metrics.Registry, r request) {
+	reg.Counter("coskq_path_total_" + r.Path).Inc() // want "not provably bounded"
+}
+
+// A bounded helper: every return is a literal.
+func errorReason(code int) string {
+	switch code {
+	case 1:
+		return "budget"
+	case 2:
+		return "cancel"
+	}
+	return "other"
+}
+
+func goodHelper(reg *metrics.Registry, code int) {
+	reg.Counter(fmt.Sprintf("coskq_errors_total{reason=%q}", errorReason(code))).Inc()
+}
+
+// An unbounded helper taints its call sites.
+func rawPath(r request) string { return r.Path }
+
+func badHelper(reg *metrics.Registry, r request) {
+	reg.Counter(fmt.Sprintf("coskq_errors_total{reason=%q}", rawPath(r))).Inc() // want "not provably bounded"
+}
+
+// The federate fan-out shape: a directly invoked closure's parameter is
+// bounded iff the invocation argument is. Name() is shard identity.
+func goodClosure(reg *metrics.Registry, backends []backend) {
+	for i, b := range backends {
+		go func(ord int, name string) {
+			reg.Counter(fmt.Sprintf("coskq_peer_errors_total{shard=%q}", name)).Inc()
+		}(i, b.Name())
+	}
+}
+
+// The same shape fed with request data fires at the sink: the closure
+// parameter resolves to the unbounded invocation argument.
+func badClosure(reg *metrics.Registry, r request) {
+	func(name string) {
+		reg.Counter(fmt.Sprintf("coskq_peer_errors_total{shard=%q}", name)).Inc() // want "not provably bounded"
+	}(r.Path)
+}
+
+// Local variables are bounded when every assignment is.
+func goodLocal(reg *metrics.Registry, ok bool) {
+	status := "hit"
+	if !ok {
+		status = "miss"
+	}
+	reg.Counter(fmt.Sprintf("coskq_cache_total{status=%q}", status)).Inc()
+}
+
+// A justified suppression silences the diagnostic.
+func suppressed(reg *metrics.Registry, r request) {
+	//coskq:nolint(metriclabel) debug-only registry, dropped before exposition
+	reg.Counter("coskq_debug_" + r.Path).Inc()
+}

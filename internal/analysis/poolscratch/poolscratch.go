@@ -1,0 +1,475 @@
+// Package poolscratch defines an analyzer enforcing sync.Pool
+// discipline on the engine's pooled scratch objects: every Get must be
+// matched by a Put on every control-flow path, and a pooled object must
+// not escape the function that acquired it (other than by the sanctioned
+// transfer shapes: returning it or storing it into a struct the caller
+// owns).
+//
+// The pinned zero-alloc guards (owner hot path 25 allocs/op, shard serve
+// path NN=7/Collect=34) hold only while the scratch pools actually
+// recycle. A Get that misses its Put on one early-return path doesn't
+// crash anything — it just quietly regrows the heap until the alloc
+// guards flake; an object that escapes to a global or a channel can be
+// recycled while another goroutine still holds it, which is a data race.
+package poolscratch
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check sync.Pool Get/Put balance and pooled-object containment
+
+Every value acquired from a sync.Pool — directly via (*sync.Pool).Get or
+through a same-package acquirer wrapper (a function that returns what it
+Gets, the getOwnerScratch shape) — must be released (Put, or a
+same-package releaser wrapper that Puts its parameter) on every
+control-flow path through the acquiring function, normally by a deferred
+release so panic-unwind is covered too. Returning the object or storing
+it into a struct transfers the obligation to the new owner and satisfies
+the check. Discarding a Get result, or letting the object reach a
+package-level variable or a channel, is reported: a pooled object with
+an untracked holder can be recycled while still referenced, which is a
+data race. Test files are exempt.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "poolscratch",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	rep := lintutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	acquirers := make(map[*types.Func]bool)
+	releasers := make(map[*types.Func]bool)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		decl := n.(*ast.FuncDecl)
+		fn, _ := pass.TypesInfo.Defs[decl.Name].(*types.Func)
+		if fn == nil || decl.Body == nil {
+			return
+		}
+		if isAcquirer(pass, decl) {
+			acquirers[fn] = true
+		}
+		if isReleaser(pass, decl, fn) {
+			releasers[fn] = true
+		}
+	})
+
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+			return
+		}
+		runFunc(pass, rep, cfgs, n, acquirers, releasers)
+	})
+	return nil, nil
+}
+
+// isPoolGet / isPoolPut match the direct sync.Pool methods.
+func isPoolGet(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return lintutil.IsMethodOn(lintutil.CalleeFunc(pass.TypesInfo, call), "sync", "Pool", "Get")
+}
+
+func isPoolPut(pass *analysis.Pass, call *ast.CallExpr) bool {
+	return lintutil.IsMethodOn(lintutil.CalleeFunc(pass.TypesInfo, call), "sync", "Pool", "Put")
+}
+
+// containsPoolGet reports whether expr contains a direct Pool.Get call
+// (possibly under a type assertion, the pool.Get().(*T) idiom).
+func containsPoolGet(pass *analysis.Pass, expr ast.Node) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isPoolGet(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isAcquirer reports whether decl is an acquirer wrapper: it contains a
+// direct Pool.Get and hands the object to its caller — either by
+// returning an expression containing the Get, or by returning the
+// variable the Get was assigned to.
+func isAcquirer(pass *analysis.Pass, decl *ast.FuncDecl) bool {
+	gotVars := make(map[types.Object]bool)
+	lintutil.WalkLocal(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || !containsPoolGet(pass, as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				gotVars[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				gotVars[obj] = true
+			}
+		}
+		return true
+	})
+	found := false
+	lintutil.WalkLocal(decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || found {
+			return !found
+		}
+		for _, res := range ret.Results {
+			if containsPoolGet(pass, res) {
+				found = true
+				return false
+			}
+			if id, ok := ast.Unparen(res).(*ast.Ident); ok && gotVars[pass.TypesInfo.Uses[id]] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isReleaser reports whether decl is a releaser wrapper: it Puts one of
+// its own parameters back into a pool (the putOwnerScratch shape).
+func isReleaser(pass *analysis.Pass, decl *ast.FuncDecl, fn *types.Func) bool {
+	sig := fn.Type().(*types.Signature)
+	params := make(map[types.Object]bool)
+	for i := 0; i < sig.Params().Len(); i++ {
+		params[sig.Params().At(i)] = true
+	}
+	if len(params) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isPoolPut(pass, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && params[pass.TypesInfo.Uses[id]] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isAcquireCall reports whether call acquires a pooled object: a direct
+// Pool.Get or a call to an acquirer wrapper.
+func isAcquireCall(pass *analysis.Pass, call *ast.CallExpr, acquirers map[*types.Func]bool) bool {
+	if isPoolGet(pass, call) {
+		return true
+	}
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	return fn != nil && acquirers[fn]
+}
+
+// isRelease reports whether n releases v: Pool.Put(v) or a releaser
+// wrapper called with v.
+func isRelease(pass *analysis.Pass, n ast.Node, v types.Object, releasers map[*types.Func]bool) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	if !isPoolPut(pass, call) && !releasers[fn] {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+			return true
+		}
+	}
+	return false
+}
+
+func runFunc(pass *analysis.Pass, rep *lintutil.Reporter, cfgs *ctrlflow.CFGs, node ast.Node, acquirers, releasers map[*types.Func]bool) {
+	var body *ast.BlockStmt
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		body = n.Body
+	case *ast.FuncLit:
+		body = n.Body
+	}
+	if body == nil {
+		return
+	}
+
+	// Acquisitions local to this function (nested literals are visited on
+	// their own), plus discarded Gets.
+	type acq struct {
+		v    types.Object
+		stmt ast.Node
+	}
+	var acqs []acq
+	lintutil.WalkLocal(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isAcquireCall(pass, call, acquirers) {
+				rep.Reportf(call, "pooled object is discarded: a Get with no holder can never be Put back")
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			isAcq := ok && isAcquireCall(pass, call, acquirers)
+			if !isAcq {
+				// pool.Get().(*T): the acquire sits under a type assertion.
+				if ta, ok2 := ast.Unparen(n.Rhs[0]).(*ast.TypeAssertExpr); ok2 {
+					if c2, ok3 := ast.Unparen(ta.X).(*ast.CallExpr); ok3 && isAcquireCall(pass, c2, acquirers) {
+						isAcq, call = true, c2
+					}
+				}
+			}
+			if !isAcq {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored straight into a field: ownership transfers
+			}
+			if id.Name == "_" {
+				rep.Reportf(call, "pooled object is discarded: a Get with no holder can never be Put back")
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				acqs = append(acqs, acq{v: obj, stmt: n})
+			}
+		}
+		return true
+	})
+	if len(acqs) == 0 {
+		return
+	}
+
+	// Escapes: a pooled object reaching a package-level variable or a
+	// channel has an untracked concurrent holder.
+	for _, a := range acqs {
+		lintutil.WalkLocal(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					if i >= len(n.Rhs) {
+						break
+					}
+					id, ok := ast.Unparen(n.Rhs[i]).(*ast.Ident)
+					if !ok || pass.TypesInfo.Uses[id] != a.v {
+						continue
+					}
+					if tid, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[tid]; obj != nil && obj.Parent() == pass.Pkg.Scope() {
+							rep.Reportf(n, "pooled object %s escapes to package-level %s: it can be recycled while still referenced", a.v.Name(), tid.Name)
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if id, ok := ast.Unparen(n.Value).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == a.v {
+					rep.Reportf(n, "pooled object %s escapes into a channel: it can be recycled while still referenced", a.v.Name())
+				}
+			}
+			return true
+		})
+	}
+
+	// A deferred release anywhere discharges the obligation on every
+	// path, including panic-unwind. Releases inside a deferred closure
+	// count (the exact.go shape).
+	deferred := make(map[types.Object]bool)
+	lintutil.WalkLocal(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		for _, a := range acqs {
+			if isRelease(pass, def.Call, a.v, releasers) {
+				deferred[a.v] = true
+			}
+			if lit, ok := def.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if isRelease(pass, m, a.v, releasers) {
+						deferred[a.v] = true
+					}
+					return !deferred[a.v]
+				})
+			}
+		}
+		return true
+	})
+
+	var g *cfg.CFG
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		g = cfgs.FuncDecl(n)
+	case *ast.FuncLit:
+		g = cfgs.FuncLit(n)
+	}
+	if g == nil {
+		return
+	}
+	for _, a := range acqs {
+		if deferred[a.v] {
+			continue
+		}
+		if ret := leakPath(pass, g, a.v, a.stmt, releasers); ret != nil {
+			rep.Reportf(a.stmt, "pooled object %s is not returned to the pool on all paths (missing Put before the return at line %d); prefer a deferred release so panic-unwind is covered too",
+				a.v.Name(), pass.Fset.Position(ret.Pos()).Line)
+		}
+	}
+}
+
+// leakPath finds a control-flow path from the acquisition to a return on
+// which v is neither released nor transferred, and returns that return
+// statement; nil if every path discharges the obligation.
+//
+// Discharges: a release call; returning v (or an expression mentioning
+// it); assigning v itself to a new holder (alias, field or element
+// store); placing v in a composite literal. Field writes ON v
+// (v.buf = v.buf[:0] reset idioms) and passing v as a plain borrow
+// argument do not discharge — the obligation stays here.
+func leakPath(pass *analysis.Pass, g *cfg.CFG, v types.Object, stmt ast.Node, releasers map[*types.Func]bool) *ast.ReturnStmt {
+	isV := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == v
+	}
+	mentionsV := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	discharges := func(stmts []ast.Node) bool {
+		found := false
+		for _, s := range stmts {
+			lintutil.WalkLocal(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isRelease(pass, n, v, releasers) {
+						found = true
+						return false
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if mentionsV(res) {
+							found = true
+							return false
+						}
+					}
+				case *ast.AssignStmt:
+					for _, rhs := range n.Rhs {
+						if isV(rhs) {
+							found = true
+							return false
+						}
+					}
+				case *ast.CompositeLit:
+					if mentionsV(n) {
+						found = true
+						return false
+					}
+				case *ast.SendStmt:
+					// A send transfers the object out of this function; the
+					// escape check reports it separately, so don't also
+					// report a leak here.
+					if isV(n.Value) {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				break
+			}
+		}
+		return found
+	}
+
+	var defblock *cfg.Block
+	var rest []ast.Node
+outer:
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == stmt {
+				defblock, rest = b, b.Nodes[i+1:]
+				break outer
+			}
+		}
+	}
+	if defblock == nil {
+		return nil
+	}
+	if discharges(rest) {
+		return nil
+	}
+	if ret := defblock.Return(); ret != nil {
+		return ret
+	}
+
+	memo := make(map[*cfg.Block]bool)
+	blockDischarges := func(b *cfg.Block) bool {
+		r, ok := memo[b]
+		if !ok {
+			r = discharges(b.Nodes)
+			memo[b] = r
+		}
+		return r
+	}
+	seen := make(map[*cfg.Block]bool)
+	var search func(blocks []*cfg.Block) *ast.ReturnStmt
+	search = func(blocks []*cfg.Block) *ast.ReturnStmt {
+		for _, b := range blocks {
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			if blockDischarges(b) {
+				continue
+			}
+			if ret := b.Return(); ret != nil {
+				return ret
+			}
+			if ret := search(b.Succs); ret != nil {
+				return ret
+			}
+		}
+		return nil
+	}
+	return search(defblock.Succs)
+}

@@ -1,0 +1,12 @@
+package poolscratch_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/poolscratch"
+)
+
+func TestPoolscratch(t *testing.T) {
+	analyzertest.Run(t, "testdata", poolscratch.Analyzer, "pool")
+}

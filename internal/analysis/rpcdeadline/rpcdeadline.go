@@ -1,0 +1,153 @@
+// Package rpcdeadline defines an analyzer enforcing the distributed
+// tier's bounded-RPC invariant: every outbound shard/peer HTTP call must
+// be able to time out.
+//
+// The scatter-gather design survives slow and dead shards only because
+// every RPC is bounded — the Router's ShardTimeout, the server's
+// per-request deadline, and the retry client's backoff all assume an
+// individual call cannot hang forever. One context-less http.Get, or one
+// fall-through to the timeout-less http.DefaultClient, reintroduces the
+// unbounded hang: a single stuck peer then pins a coordinator goroutine
+// (and its admission slot) indefinitely, which is exactly the failure
+// mode graceful degradation was built to exclude.
+package rpcdeadline
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check that outbound shard/peer HTTP calls can time out
+
+In the distributed-tier packages (import path bases client, shard,
+server), outbound HTTP must always be bounded: http.NewRequest is
+reported in favor of http.NewRequestWithContext (so the caller's
+deadline rides the request), the context-less helpers http.Get /
+http.Post / (*http.Client).Get / ... are reported outright, any use of
+http.DefaultClient is reported (it has no Timeout, so a stuck peer pins
+the goroutine forever), and passing a fresh context.Background() or
+context.TODO() straight into a shard data-plane call (a client.Client
+method or a shard.Backend Meta/NN/Collect) is reported — those must
+receive the request context or a context.WithTimeout child. Test files
+are exempt.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "rpcdeadline",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      run,
+}
+
+var scopedBases = map[string]bool{"client": true, "shard": true, "server": true}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !scopedBases[lintutil.PathBase(pass.Pkg.Path())] {
+		return nil, nil
+	}
+	rep := lintutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil), (*ast.SelectorExpr)(nil)}, func(n ast.Node) {
+		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isDefaultClient(pass, n) {
+				rep.Reportf(n, "http.DefaultClient has no Timeout: a stuck peer hangs the call forever; use a client with an explicit Timeout")
+			}
+		case *ast.CallExpr:
+			checkCall(pass, rep, n)
+		}
+	})
+	return nil, nil
+}
+
+// isDefaultClient reports whether sel denotes net/http.DefaultClient.
+func isDefaultClient(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Name() != "DefaultClient" || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "net/http"
+}
+
+func checkCall(pass *analysis.Pass, rep *lintutil.Reporter, call *ast.CallExpr) {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+
+	// http.NewRequest drops the deadline on the floor.
+	if fn.Pkg().Path() == "net/http" && fn.Name() == "NewRequest" && fn.Type().(*types.Signature).Recv() == nil {
+		rep.Reportf(call, "http.NewRequest carries no context: use http.NewRequestWithContext so the caller's deadline rides the request")
+		return
+	}
+
+	// Context-less helpers: package-level http.Get/Post/... and the
+	// matching *http.Client convenience methods. (Header.Get and other
+	// accessors that happen to share a name are not request senders.)
+	if fn.Pkg().Path() == "net/http" {
+		switch fn.Name() {
+		case "Get", "Head", "Post", "PostForm":
+			recv := lintutil.NamedRecv(fn)
+			if recv == nil && fn.Type().(*types.Signature).Recv() == nil {
+				rep.Reportf(call, "http.%s has no context and no deadline: build the request with NewRequestWithContext and send it through a timeout-bearing client", fn.Name())
+				return
+			}
+			if recv != nil && recv.Obj().Name() == "Client" {
+				rep.Reportf(call, "(*http.Client).%s has no context: build the request with NewRequestWithContext and send it with Do", fn.Name())
+				return
+			}
+		}
+	}
+
+	// A fresh root context fed straight into a shard data-plane call can
+	// never expire.
+	if isShardDataPlane(fn) && len(call.Args) > 0 && isFreshContext(pass, call.Args[0]) {
+		rep.Reportf(call, "shard call %s gets a fresh %s: pass the request context (or a context.WithTimeout child) so the fan-out stays deadline-bounded",
+			fn.Name(), freshName(pass, call.Args[0]))
+	}
+}
+
+// isShardDataPlane reports whether fn is an outbound shard/peer call: a
+// method on client.Client or a shard.Backend data-plane method.
+func isShardDataPlane(fn *types.Func) bool {
+	if n := lintutil.NamedRecv(fn); n != nil {
+		if n.Obj().Name() == "Client" && lintutil.PkgIs(n.Obj().Pkg(), "client") {
+			return true
+		}
+	}
+	switch fn.Name() {
+	case "Meta", "NN", "Collect":
+		return lintutil.IsMethodOn(fn, "shard", "Backend", fn.Name())
+	}
+	return false
+}
+
+// isFreshContext reports whether arg is a direct context.Background() or
+// context.TODO() call.
+func isFreshContext(pass *analysis.Pass, arg ast.Expr) bool {
+	call, ok := ast.Unparen(arg).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	return fn.Name() == "Background" || fn.Name() == "TODO"
+}
+
+func freshName(pass *analysis.Pass, arg ast.Expr) string {
+	call, _ := ast.Unparen(arg).(*ast.CallExpr)
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	return "context." + fn.Name() + "()"
+}

@@ -1,0 +1,12 @@
+package rpcdeadline_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/rpcdeadline"
+)
+
+func TestRPCDeadline(t *testing.T) {
+	analyzertest.Run(t, "testdata", rpcdeadline.Analyzer, "client", "shard")
+}

@@ -1,0 +1,62 @@
+// Fixture for the rpcdeadline analyzer: the package path base "client"
+// puts it in scope, mirroring the retry client's call sites.
+package client
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+type Client struct {
+	HTTPClient *http.Client
+}
+
+// The sanctioned shape: context rides the request, client has a Timeout.
+func (c *Client) Query(ctx context.Context, url string) error {
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func good(ctx context.Context, c *Client) error {
+	cctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return c.Query(cctx, "http://peer/query")
+}
+
+func badFreshContext(c *Client) error {
+	return c.Query(context.Background(), "http://peer/query") // want "gets a fresh context.Background"
+}
+
+func badNewRequest(url string) (*http.Request, error) {
+	return http.NewRequest("GET", url, nil) // want "http.NewRequest carries no context"
+}
+
+func badHelper(url string) (*http.Response, error) {
+	return http.Get(url) // want "http.Get has no context and no deadline"
+}
+
+func badClientHelper(hc *http.Client, url string) (*http.Response, error) {
+	return hc.Get(url) // want `\(\*http.Client\).Get has no context`
+}
+
+func badDefaultClient(req *http.Request) (*http.Response, error) {
+	return http.DefaultClient.Do(req) // want "http.DefaultClient has no Timeout"
+}
+
+// A justified suppression silences the diagnostic.
+func suppressedHelper(url string) (*http.Response, error) {
+	//coskq:nolint(rpcdeadline) one-shot CLI probe; the process deadline bounds it
+	return http.Get(url)
+}

@@ -1,0 +1,34 @@
+// Fixture for rpcdeadline's Backend data-plane rule: a fresh root
+// context fed into a shard fan-out call can never expire.
+package shard
+
+import "context"
+
+type Meta struct{ Shards int }
+
+type Backend interface {
+	Meta(ctx context.Context) (Meta, error)
+	NN(ctx context.Context, word string) (float64, error)
+}
+
+func badInit(b Backend) error {
+	_, err := b.Meta(context.TODO()) // want "gets a fresh context.TODO"
+	return err
+}
+
+func goodInit(ctx context.Context, b Backend) error {
+	_, err := b.Meta(ctx)
+	return err
+}
+
+func goodScatter(ctx context.Context, b Backend, words []string) error {
+	for _, w := range words {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := b.NN(ctx, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

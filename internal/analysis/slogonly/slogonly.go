@@ -36,6 +36,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	rep := lintutil.NewReporter(pass)
 	if !strings.HasSuffix(lintutil.PathBase(pass.Pkg.Path()), "server") {
 		return nil, nil
 	}
@@ -50,7 +51,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if !ok || pkgName.Imported().Path() != "log" {
 			return
 		}
-		pass.ReportRangef(sel, "use log/slog, not the legacy log package, in the serving path (log.%s)", sel.Sel.Name)
+		rep.Reportf(sel, "use log/slog, not the legacy log package, in the serving path (log.%s)", sel.Sel.Name)
 	})
 	return nil, nil
 }

@@ -43,6 +43,7 @@ var Analyzer = &analysis.Analyzer{
 }
 
 func run(pass *analysis.Pass) (interface{}, error) {
+	rep := lintutil.NewReporter(pass)
 	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
 	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
 		// Test files are exempt: the trace package's own tests leak
@@ -51,16 +52,20 @@ func run(pass *analysis.Pass) (interface{}, error) {
 		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
 			return
 		}
-		runFunc(pass, n)
+		runFunc(pass, rep, n)
 	})
 	return nil, nil
 }
 
-// isBegin reports whether call invokes (*Trace).Begin from a package
-// whose import-path base is "trace".
+// isBegin reports whether call opens a span or span group from a package
+// whose import-path base is "trace": (*Trace).Begin, the race-safe
+// (*Group).Begin used by worker pools and the Router's scatter, or
+// (*Trace).BeginGroup (the Group itself must be End-ed too).
 func isBegin(pass *analysis.Pass, call *ast.CallExpr) bool {
 	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
-	return lintutil.IsMethodOn(fn, "trace", "Trace", "Begin")
+	return lintutil.IsMethodOn(fn, "trace", "Trace", "Begin") ||
+		lintutil.IsMethodOn(fn, "trace", "Trace", "BeginGroup") ||
+		lintutil.IsMethodOn(fn, "trace", "Group", "Begin")
 }
 
 // isCloseCall reports whether n is a call sp.End() or sp.Drop() on the
@@ -78,7 +83,7 @@ func isCloseCall(pass *analysis.Pass, n ast.Node, v *types.Var) bool {
 	return ok && pass.TypesInfo.Uses[id] == v
 }
 
-func runFunc(pass *analysis.Pass, node ast.Node) {
+func runFunc(pass *analysis.Pass, rep *lintutil.Reporter, node ast.Node) {
 	var funcBody *ast.BlockStmt
 	switch n := node.(type) {
 	case *ast.FuncDecl:
@@ -105,7 +110,7 @@ func runFunc(pass *analysis.Pass, node ast.Node) {
 			// an argument, a chained call — escapes and is skipped.)
 			if es, ok := n.(*ast.ExprStmt); ok {
 				if call, ok := es.X.(*ast.CallExpr); ok && isBegin(pass, call) {
-					pass.ReportRangef(call, "result of Begin is discarded: the span is never ended (use End/Drop, normally deferred)")
+					rep.Reportf(call, "result of Begin is discarded: the span is never ended (use End/Drop, normally deferred)")
 				}
 			}
 			return true
@@ -122,7 +127,7 @@ func runFunc(pass *analysis.Pass, node ast.Node) {
 			return true // sp stored through a selector/index: escapes
 		}
 		if id.Name == "_" {
-			pass.ReportRangef(call, "result of Begin is discarded: the span is never ended (use End/Drop, normally deferred)")
+			rep.Reportf(call, "result of Begin is discarded: the span is never ended (use End/Drop, normally deferred)")
 			return true
 		}
 		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
@@ -169,7 +174,7 @@ func runFunc(pass *analysis.Pass, node ast.Node) {
 			continue
 		}
 		if ret := leakPath(pass, g, d.v, d.stmt); ret != nil {
-			pass.ReportRangef(d.stmt, "span %s is not closed on all paths (missing End/Drop before the return at line %d)",
+			rep.Reportf(d.stmt, "span %s is not closed on all paths (missing End/Drop before the return at line %d)",
 				d.v.Name(), pass.Fset.Position(ret.Pos()).Line)
 		}
 	}

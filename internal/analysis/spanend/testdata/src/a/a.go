@@ -89,3 +89,46 @@ func badNeverClosed(tr *trace.Trace) {
 	sp := tr.Begin("phase") // want `span sp is not closed on all paths`
 	sp.Attr("k", 1)
 }
+
+// Group spans carry the same obligation. The Router's scatter shape: a
+// conditional Group.Begin into a pre-declared var, closed
+// unconditionally later (all methods are nil-safe).
+func okScatterShape(tr *trace.Trace, traced bool) {
+	grp := tr.BeginGroup("shard_nn")
+	var sp *trace.Span
+	if traced {
+		sp = grp.Begin("rpc")
+	}
+	sp.End()
+	grp.End()
+}
+
+func okGroupDeferred(tr *trace.Trace) {
+	grp := tr.BeginGroup("owner_workers")
+	defer grp.End()
+}
+
+func badGroupLeak(tr *trace.Trace, failed bool) error {
+	grp := tr.BeginGroup("shard_collect") // want `span grp is not closed on all paths`
+	if failed {
+		return nil
+	}
+	grp.End()
+	return nil
+}
+
+func badGroupChildLeak(grp *trace.Group, failed bool) error {
+	sp := grp.Begin("rpc") // want `span sp is not closed on all paths`
+	if failed {
+		return nil
+	}
+	sp.End()
+	return nil
+}
+
+// A justified suppression silences the diagnostic.
+func suppressedLeak(tr *trace.Trace) {
+	//coskq:nolint(spanend) span closed by the trace's Finish sweep in this shutdown path
+	sp := tr.Begin("shutdown")
+	sp.Attr("k", 1)
+}

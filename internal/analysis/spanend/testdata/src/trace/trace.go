@@ -29,3 +29,30 @@ func (s *Span) Drop() {
 }
 
 func (s *Span) Attr(key string, v float64) {}
+
+// Group mirrors the race-safe concurrent span group used by worker
+// pools and the Router's scatter.
+type Group struct{ t *Trace }
+
+func (t *Trace) BeginGroup(name string) *Group {
+	if t == nil {
+		return nil
+	}
+	t.open++
+	return &Group{t: t}
+}
+
+func (g *Group) Begin(name string) *Span {
+	if g == nil {
+		return nil
+	}
+	g.t.open++
+	return &Span{t: g.t}
+}
+
+func (g *Group) End() {
+	if g == nil {
+		return
+	}
+	g.t.open--
+}

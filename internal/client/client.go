@@ -30,14 +30,27 @@ const (
 	DefaultMaxRetries  = 3
 	DefaultBaseBackoff = 100 * time.Millisecond
 	DefaultMaxBackoff  = 5 * time.Second
+
+	// DefaultHTTPTimeout bounds one attempt (connect through body read)
+	// when the caller supplies no *http.Client of its own. Outbound
+	// shard/peer calls must never be able to hang forever — the retry
+	// loop bounds attempts, this bounds each attempt.
+	DefaultHTTPTimeout = 30 * time.Second
 )
+
+// defaultHTTPClient replaces the http.DefaultClient fallback: identical
+// transport, but with an explicit per-attempt timeout so a stuck peer
+// cannot pin a coordinator goroutine indefinitely (rpcdeadline
+// invariant).
+var defaultHTTPClient = &http.Client{Timeout: DefaultHTTPTimeout}
 
 // Client calls a coskq-server. The zero value is not usable: set Base.
 // All other fields are optional. A Client is safe for concurrent use.
 type Client struct {
 	// Base is the server root, e.g. "http://localhost:8080".
 	Base string
-	// HTTP is the underlying client; nil means http.DefaultClient. Give
+	// HTTP is the underlying client; nil means a shared default client
+	// with DefaultHTTPTimeout per attempt. If you supply your own, give
 	// it a Timeout (or use request contexts) — this package bounds
 	// retries, not individual attempts.
 	HTTP *http.Client
@@ -176,7 +189,7 @@ func injectContextHeaders(ctx context.Context, req *http.Request) {
 func (c *Client) getJSON(ctx context.Context, path string, v url.Values, out any) error {
 	httpc := c.HTTP
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = defaultHTTPClient
 	}
 	retries := c.MaxRetries
 	if retries == 0 {
@@ -244,7 +257,7 @@ const MaxMetricsPage = 4 << 20
 func (c *Client) MetricsText(ctx context.Context) ([]byte, error) {
 	httpc := c.HTTP
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = defaultHTTPClient
 	}
 	retries := c.MaxRetries
 	if retries == 0 {

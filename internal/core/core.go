@@ -257,7 +257,7 @@ type Stats struct {
 
 	// DegradeReason names why a degraded execution was cut short
 	// ("budget", "deadline", "cancelled"); empty for complete answers.
-	DegradeReason string
+	DegradeReason DegradeReason
 
 	// Phases breaks Elapsed down across the coarse phases the algorithms
 	// share; a phase an algorithm does not have stays zero. Phases.Seed

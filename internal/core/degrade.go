@@ -76,22 +76,28 @@ func ParseDegradePolicy(s string) (DegradePolicy, bool) {
 	return DegradeFail, false
 }
 
+// DegradeReason names why a degraded execution was cut short. It is a
+// named type (not a bare string) so that every value flowing into
+// metrics labels and response headers provably comes from the
+// compile-time vocabulary below (metriclabel invariant).
+type DegradeReason string
+
 // Degrade reasons reported in Stats.DegradeReason.
 const (
-	DegradeReasonBudget    = "budget"
-	DegradeReasonDeadline  = "deadline"
-	DegradeReasonCancelled = "cancelled"
+	DegradeReasonBudget    DegradeReason = "budget"
+	DegradeReasonDeadline  DegradeReason = "deadline"
+	DegradeReasonCancelled DegradeReason = "cancelled"
 	// DegradeReasonShard marks an answer computed without one or more
 	// failed shards of a scatter-gather execution (internal/shard): the
 	// set is feasible and its cost is an upper bound on the full answer,
 	// but objects on the failed shards were not considered.
-	DegradeReasonShard = "shard"
+	DegradeReasonShard DegradeReason = "shard"
 )
 
 // degradeReason classifies err as a cause the degrade policy may absorb;
 // "" means the error is not degradable (infeasible, unsupported — no
 // incumbent could exist or the answer would be wrong).
-func degradeReason(err error) string {
+func degradeReason(err error) DegradeReason {
 	switch {
 	case errors.Is(err, ErrBudgetExceeded):
 		return DegradeReasonBudget

@@ -1,0 +1,49 @@
+// Fuzz target for the federation merge: a peer's /metrics page is
+// untrusted remote input, and MergeText promises to degrade (drop
+// unrecognized lines) rather than fail or panic on anything it is fed.
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzMergeText: merging an arbitrary peer page never panics or errors
+// (the writer is the only error source), every emitted sample line
+// carries the shard label, and the merged output is itself a valid page
+// — merging it again must succeed (the coordinator's federated page can
+// be a peer of another coordinator).
+func FuzzMergeText(f *testing.F) {
+	f.Add("# TYPE coskq_queries_total counter\ncoskq_queries_total 42\n")
+	f.Add("# TYPE coskq_latency histogram\ncoskq_latency_bucket{le=\"0.1\"} 1\ncoskq_latency_bucket{le=\"+Inf\"} 2\ncoskq_latency_sum 0.3\ncoskq_latency_count 2\n")
+	f.Add("coskq_orphan_total 1\n")                     // bare sample, no TYPE line
+	f.Add("# HELP x y\n# TYPE\n# TYPE a\nnot a sample") // malformed comments
+	f.Add("coskq_total{shard=\"already\"} 1\n")         // pre-existing label block
+	f.Add("a{b=\"}\"} 1\n")                             // brace inside a label value
+	f.Add(strings.Repeat("x", 5000) + " 1\n")           // oversized name
+	f.Add("\x00\xff\n\r\n")
+
+	f.Fuzz(func(t *testing.T, page string) {
+		var out bytes.Buffer
+		pages := []MergePage{
+			{Source: "", Text: []byte("# TYPE coskq_up gauge\ncoskq_up 1\n")},
+			{Source: "shard-a", Text: []byte(page)},
+		}
+		if err := MergeText(&out, pages); err != nil {
+			t.Fatalf("MergeText errored on in-memory writer: %v", err)
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "coskq_up") {
+				continue
+			}
+			if !strings.Contains(line, `shard="shard-a"`) {
+				t.Fatalf("peer sample escaped without a shard label: %q", line)
+			}
+		}
+		var again bytes.Buffer
+		if err := MergeText(&again, []MergePage{{Source: "fed", Text: out.Bytes()}}); err != nil {
+			t.Fatalf("re-merging the federated page errored: %v", err)
+		}
+	})
+}

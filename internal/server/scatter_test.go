@@ -122,14 +122,14 @@ func TestScatterGatherDegradesOnDeadShard(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("dead shard: status %d, want 200 degraded", resp.StatusCode)
 	}
-	if got := resp.Header.Get("X-Coskq-Degraded"); got != core.DegradeReasonShard {
+	if got := resp.Header.Get("X-Coskq-Degraded"); got != string(core.DegradeReasonShard) {
 		t.Fatalf("X-Coskq-Degraded = %q, want %q", got, core.DegradeReasonShard)
 	}
 	var got queryResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
-	if !got.Degraded || got.Reason != core.DegradeReasonShard {
+	if !got.Degraded || got.Reason != string(core.DegradeReasonShard) {
 		t.Fatalf("body not marked degraded: %+v", got)
 	}
 	// The partial answer solves over a subset of the fleet: it can never
@@ -178,20 +178,24 @@ func TestScatterGatherSurface(t *testing.T) {
 		t.Fatalf("healthz = %+v", health)
 	}
 
-	for url, status := range map[string]int{
-		"/topk?x=0&y=0&kw=cafe&n=2":    http.StatusNotImplemented,
-		"/query?x=oops&y=0&kw=cafe":    http.StatusBadRequest,
-		"/query?x=0&y=0":               http.StatusBadRequest,
-		"/query?x=0&y=0&kw=cafe&cost=": http.StatusOK,
-		"/query?x=0&y=0&kw=nosuchword": http.StatusUnprocessableEntity,
-	} {
-		resp, err := http.Get(coord.URL + url)
+	cases := []struct {
+		url    string
+		status int
+	}{
+		{"/topk?x=0&y=0&kw=cafe&n=2", http.StatusNotImplemented},
+		{"/query?x=oops&y=0&kw=cafe", http.StatusBadRequest},
+		{"/query?x=0&y=0", http.StatusBadRequest},
+		{"/query?x=0&y=0&kw=cafe&cost=", http.StatusOK},
+		{"/query?x=0&y=0&kw=nosuchword", http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(coord.URL + tc.url)
 		if err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if resp.StatusCode != status {
-			t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, status)
+		if resp.StatusCode != tc.status {
+			t.Fatalf("GET %s: status %d, want %d", tc.url, resp.StatusCode, tc.status)
 		}
 	}
 }

@@ -265,10 +265,28 @@ func (s *server) requestIDMiddleware(next http.Handler) http.Handler {
 // by the per-route request counter (unknown paths share one label so a
 // path-scanning client cannot grow the metric set).
 func routeLabel(path string) string {
+	// Each case returns its own literal (rather than echoing the
+	// parameter) so the label is provably drawn from this compile-time
+	// set — the metriclabel analyzer checks exactly that.
 	switch path {
-	case "/stats", "/query", "/topk", "/healthz", "/metrics", "/debug/slowlog",
-		"/shard/meta", "/shard/nn", "/shard/collect":
-		return path
+	case "/stats":
+		return "/stats"
+	case "/query":
+		return "/query"
+	case "/topk":
+		return "/topk"
+	case "/healthz":
+		return "/healthz"
+	case "/metrics":
+		return "/metrics"
+	case "/debug/slowlog":
+		return "/debug/slowlog"
+	case "/shard/meta":
+		return "/shard/meta"
+	case "/shard/nn":
+		return "/shard/nn"
+	case "/shard/collect":
+		return "/shard/collect"
 	default:
 		return "other"
 	}
@@ -732,7 +750,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if res.Degraded {
-		w.Header().Set("X-Coskq-Degraded", res.Stats.DegradeReason)
+		w.Header().Set("X-Coskq-Degraded", string(res.Stats.DegradeReason))
 	}
 	resp := queryResponse{
 		Cost:      res.Cost,
@@ -741,7 +759,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedMs: float64(res.Stats.Elapsed.Microseconds()) / 1000,
 		Objects:   s.objectsJSON(q, res.Set),
 		Degraded:  res.Degraded,
-		Reason:    res.Stats.DegradeReason,
+		Reason:    string(res.Stats.DegradeReason),
 	}
 	if explain {
 		resp.Trace = x
@@ -785,7 +803,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(results) > 0 && results[0].Degraded {
-		w.Header().Set("X-Coskq-Degraded", results[0].Stats.DegradeReason)
+		w.Header().Set("X-Coskq-Degraded", string(results[0].Stats.DegradeReason))
 	}
 	resp := topKResponse{Results: make([]queryResponse, len(results))}
 	for i, res := range results {
@@ -794,7 +812,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 			CostKind: cost.String(),
 			Objects:  s.objectsJSON(q, res.Set),
 			Degraded: res.Degraded,
-			Reason:   res.Stats.DegradeReason,
+			Reason:   string(res.Stats.DegradeReason),
 		}
 	}
 	if explain {

@@ -356,7 +356,7 @@ func (s *server) scatterQueryHandler(rt *shard.Router) http.Handler {
 		}
 		res := ans.Result
 		if res.Degraded {
-			w.Header().Set("X-Coskq-Degraded", res.Stats.DegradeReason)
+			w.Header().Set("X-Coskq-Degraded", string(res.Stats.DegradeReason))
 		}
 		objs := make([]objectJSON, len(ans.Members))
 		for i, c := range ans.Members {
@@ -373,7 +373,7 @@ func (s *server) scatterQueryHandler(rt *shard.Router) http.Handler {
 			ElapsedMs: float64(elapsed.Microseconds()) / 1000,
 			Objects:   objs,
 			Degraded:  res.Degraded,
-			Reason:    res.Stats.DegradeReason,
+			Reason:    string(res.Stats.DegradeReason),
 		}
 		if explain {
 			resp.Trace = xp

@@ -120,10 +120,18 @@ func TestPartitionMoreShardsThanObjects(t *testing.T) {
 }
 
 func TestPartitionerByName(t *testing.T) {
-	for name, want := range map[string]string{"": "grid", "grid": "grid", "subtree": "subtree"} {
-		p, ok := PartitionerByName(name)
-		if !ok || p.Name() != want {
-			t.Fatalf("PartitionerByName(%q) = %v, %v", name, p, ok)
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"", "grid"},
+		{"grid", "grid"},
+		{"subtree", "subtree"},
+	}
+	for _, tc := range cases {
+		p, ok := PartitionerByName(tc.name)
+		if !ok || p.Name() != tc.want {
+			t.Fatalf("PartitionerByName(%q) = %v, %v", tc.name, p, ok)
 		}
 	}
 	if _, ok := PartitionerByName("voronoi"); ok {

@@ -206,6 +206,11 @@ func (r *Router) Init(ctx context.Context) error {
 	}
 	metas := make([]Meta, len(r.Backends))
 	for i, b := range r.Backends {
+		// Poll between backends so a cancelled startup stops instead of
+		// paying one timeout per remaining shard (ctxpoll invariant).
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m, err := b.Meta(ctx)
 		if err != nil {
 			return &ShardError{Name: b.Name(), Shard: i, Phase: "meta", Err: err}
