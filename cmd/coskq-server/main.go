@@ -83,6 +83,7 @@ func main() {
 		peers     = flag.String("peers", "", "comma-separated peer shard server URLs; serve as a scatter-gather coordinator (no -data needed)")
 		shardTO   = flag.Duration("shard-timeout", 0, "per-shard call deadline in scatter-gather modes (0 = bounded by -timeout)")
 		fedTO     = flag.Duration("federate-timeout", 0, "peer fan-out deadline for coordinator /metrics?federate=1 scrapes (0 = 2s default)")
+		nnCache   = flag.Int("nn-cache", 0, "engine keyword-NN cache capacity in entries, shared across queries (single-engine mode; 0 = disabled)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -156,6 +157,7 @@ func main() {
 		eng.NodeBudget = *budget
 		eng.Parallelism = *workers
 		eng.Metrics = core.NewEngineMetrics(reg)
+		eng.EnableNNCache(*nnCache) // after Metrics: hit/miss counters register on reg
 		handler = server.NewWith(eng, opts)
 	}
 

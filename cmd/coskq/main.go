@@ -72,6 +72,7 @@ func main() {
 		workers = flag.Int("workers", 0, "worker goroutines per exact search (0 = GOMAXPROCS, 1 = serial)")
 		budget  = flag.Int("budget", 0, "exact-search node budget (0 = unlimited)")
 		degrade = flag.String("degrade", "fail", "when -budget trips: fail, incumbent (best set so far), or fallback (approximate answer)")
+		nnCache = flag.Int("nn-cache", 0, "engine keyword-NN cache capacity in entries (0 = disabled)")
 	)
 	flag.Parse()
 	if *data == "" {
@@ -114,6 +115,7 @@ func main() {
 	eng.Parallelism = *workers
 	eng.NodeBudget = *budget
 	eng.Degrade = policy
+	eng.EnableNNCache(*nnCache)
 
 	var keywords coskq.KeywordSet
 	switch {

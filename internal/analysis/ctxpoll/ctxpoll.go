@@ -25,11 +25,14 @@ const Doc = `check that search and scatter loops poll the budget or the context
 
 Inside the engine package (import path base "core"), any for/range loop
 that advances an IR-tree iterator (a Next method on a type from the
-irtree package) or pops the search priority queue (a Pop method on a
-type from the pqueue package) must, somewhere in its body, call
-chargeNode or pollCancel, check ctx.Err()/ctx.Done(), or call a
-same-package helper that directly does one of those. Otherwise the
-engine's bounded-cancellation-latency contract is broken.
+irtree package), drains an engine-local candidate source (a Next method
+on a core type — the ownerSource interface and its pooled batch-scan
+implementation), pops the search priority queue (a Pop method on a type
+from the pqueue package), or solves a batch-cluster member
+(solveClusterMember, a full search per call) must, somewhere in its
+body, call chargeNode or pollCancel, check ctx.Err()/ctx.Done(), or
+call a same-package helper that directly does one of those. Otherwise
+the engine's bounded-cancellation-latency contract is broken.
 
 Inside the shard package the same obligation falls on fan-out loops: a
 for/range loop that issues Backend data-plane calls (Meta/NN/Collect)
@@ -104,7 +107,7 @@ func run(pass *analysis.Pass) (interface{}, error) {
 			if expands {
 				return false
 			}
-			if call, ok := m.(*ast.CallExpr); ok && isExpansion(pass, call, shardMode) {
+			if call, ok := m.(*ast.CallExpr); ok && isExpansion(pass, call, coreMode, shardMode) {
 				expands, expandCall = true, call
 			}
 			return true
@@ -138,18 +141,24 @@ func run(pass *analysis.Pass) (interface{}, error) {
 }
 
 // isExpansion reports whether call advances a search frontier: Next on an
-// irtree iterator or Pop on a pqueue queue — or, in the shard package, a
-// Backend data-plane call issued from a fan-out loop.
-func isExpansion(pass *analysis.Pass, call *ast.CallExpr, shardMode bool) bool {
+// irtree iterator — or, in the engine package, on an engine-local
+// candidate source (ownerSource and its batch-scan implementation feed
+// the exact searches the same objects an IR-tree walk would) — Pop on a
+// pqueue queue, a batch-cluster member solve (a full search per call),
+// or, in the shard package, a Backend data-plane call issued from a
+// fan-out loop.
+func isExpansion(pass *analysis.Pass, call *ast.CallExpr, coreMode, shardMode bool) bool {
 	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
 	if fn == nil {
 		return false
 	}
 	switch fn.Name() {
 	case "Next":
-		return lintutil.PkgIs(fn.Pkg(), "irtree")
+		return lintutil.PkgIs(fn.Pkg(), "irtree") || (coreMode && fn.Pkg() == pass.Pkg)
 	case "Pop":
 		return lintutil.PkgIs(fn.Pkg(), "pqueue")
+	case "solveClusterMember":
+		return coreMode && fn.Pkg() == pass.Pkg
 	case "Meta", "NN", "Collect":
 		return shardMode && lintutil.IsMethodOn(fn, "shard", "Backend", fn.Name())
 	}

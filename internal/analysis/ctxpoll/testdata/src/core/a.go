@@ -178,6 +178,73 @@ func (e *Engine) okFaultHitPlusPoll(it *irtree.RelevantNNIterator) {
 	}
 }
 
+// ownerSource mirrors the engine's candidate-source abstraction: the
+// batch tier swaps IR-tree iterators for pooled pre-scanned lists, and
+// loops draining either carry the same polling obligation.
+type ownerSource interface {
+	Next() (int, float64, bool)
+	Limit(d float64)
+}
+
+type poolIter struct{ pos int }
+
+func (it *poolIter) Next() (int, float64, bool) { it.pos++; return it.pos, 0, it.pos < 8 }
+func (it *poolIter) Limit(d float64)            {}
+
+type Result struct{ Cost float64 }
+
+func (e *Engine) solveClusterMember(q int) (Result, error) { return Result{}, nil }
+
+// okOwnerSource: draining an engine-local candidate source with a poll.
+func (e *Engine) okOwnerSource(it ownerSource) {
+	stats := &Stats{}
+	for {
+		_, _, ok := it.Next()
+		if !ok {
+			break
+		}
+		stats.CandidatesSeen++
+		e.pollCancel(stats.CandidatesSeen)
+	}
+}
+
+// badOwnerSource: the same loop without a poll — swapping the IR-tree
+// iterator for a pooled scan must not shed the obligation.
+func (e *Engine) badOwnerSource(it *poolIter) int {
+	n := 0
+	for {
+		_, _, ok := it.Next() // want `search loop expands nodes but never polls`
+		if !ok {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// okClusterLoop: the batch cluster-solve loop checks the context before
+// each member solve.
+func (e *Engine) okClusterLoop(members []int) []Result {
+	out := make([]Result, len(members))
+	for i, q := range members {
+		if e.ctx != nil && e.ctx.Err() != nil {
+			break
+		}
+		out[i], _ = e.solveClusterMember(q)
+	}
+	return out
+}
+
+// badClusterLoop: each member solve is a full search; running the whole
+// cluster without polling leaves cancellation latency unbounded.
+func (e *Engine) badClusterLoop(members []int) []Result {
+	out := make([]Result, len(members))
+	for i, q := range members {
+		out[i], _ = e.solveClusterMember(q) // want `search loop expands nodes but never polls`
+	}
+	return out
+}
+
 // badWorkerNoPoll: fanning work out to a channel does not poll — the
 // producer loop itself must charge or poll.
 func (e *Engine) badWorkerNoPoll(it *irtree.RelevantNNIterator, tasks chan<- int) {

@@ -39,6 +39,18 @@ func labeled(reg *metrics.Registry, m Method, ord int, why Reason) {
 	reg.Counter(fmt.Sprintf("coskq_degraded_total{reason=%q}", why)).Inc()
 }
 
+// The batch/NN-cache metric families register with literal names — the
+// EngineMetrics idiom the batch tier follows.
+func batchFamilies(reg *metrics.Registry) {
+	reg.Counter("coskq_nncache_hits_total").Inc()
+	reg.Counter("coskq_nncache_misses_total").Inc()
+	reg.Counter("coskq_nncache_evictions_total").Inc()
+	reg.Counter("coskq_batch_queries_total").Inc()
+	reg.Counter("coskq_batch_clusters_total").Inc()
+	reg.Counter("coskq_batch_grouped_queries_total").Inc()
+	reg.Counter("coskq_batch_warm_starts_total").Inc()
+}
+
 // A label parameter: bounded here, the obligation moves to call sites.
 func record(reg *metrics.Registry, phase string) {
 	reg.Counter(fmt.Sprintf("coskq_calls_total{phase=%q}", phase)).Inc()

@@ -17,6 +17,12 @@ type BatchItem struct {
 // slice is index-aligned with queries; per-query failures (e.g.
 // ErrInfeasible) are reported in place without aborting the batch.
 //
+// Queries are first clustered by location cell and keyword similarity
+// (batchgroup.go); each cluster is one unit of worker work, and its
+// members share NN observations, one candidate range scan and incumbent
+// warm starts. Grouping never changes answers: grouped results are
+// bit-identical to an independent per-query run.
+//
 // The engine's indexes are read-only during queries, so concurrent
 // execution is safe; NodeBudget and Ablation must not be mutated while a
 // batch is in flight.
@@ -37,11 +43,15 @@ func (e *Engine) SolveBatchCtx(ctx context.Context, queries []Query, cost CostKi
 	if len(queries) == 0 {
 		return out
 	}
+	clusters := e.groupBatch(queries)
+	if e.Metrics != nil {
+		e.Metrics.recordBatch(len(queries), clusters)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > len(clusters) {
+		workers = len(clusters)
 	}
 
 	var wg sync.WaitGroup
@@ -50,21 +60,31 @@ func (e *Engine) SolveBatchCtx(ctx context.Context, queries []Query, cost CostKi
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				// Checking per item (not only in the feeder) guarantees a
-				// cancelled batch stops doing new work even for indexes
-				// already queued.
-				if err := ctx.Err(); err != nil {
-					out[i] = BatchItem{Err: err}
-					continue
-				}
-				res, err := e.SolveCtx(ctx, queries[i], cost, method)
-				out[i] = BatchItem{Result: res, Err: err}
+			for ci := range next {
+				// solveCluster checks the context per member, so a
+				// cancelled batch stops doing new work even for clusters
+				// already dequeued.
+				e.solveCluster(ctx, queries, clusters[ci], cost, method, out)
 			}
 		}()
 	}
-	for i := range queries {
-		next <- i
+	// The feeder stops enqueueing the moment the context is done: clusters
+	// never handed to a worker are marked with the context error here
+	// (disjoint from the indexes workers write, so no double write), and
+	// the batch returns promptly instead of draining its queue.
+feed:
+	for ci := range clusters {
+		select {
+		case next <- ci:
+		case <-ctx.Done():
+			err := ctx.Err()
+			for _, cl := range clusters[ci:] {
+				for _, i := range cl.idxs {
+					out[i] = BatchItem{Err: err}
+				}
+			}
+			break feed
+		}
 	}
 	close(next)
 	wg.Wait()

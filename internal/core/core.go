@@ -358,6 +358,14 @@ type Engine struct {
 	// before issuing queries (the field itself is not synchronized).
 	Metrics *EngineMetrics
 
+	// NNCache, when non-nil, is the engine-level cross-query keyword-NN
+	// cache (nncache.go): a bounded, sharded LRU keyed by (grid cell,
+	// keyword) whose entries carry a distance-validity radius, so every
+	// reuse is provably bit-identical to the IR-tree walk it replaces.
+	// Attach via EnableNNCache before issuing queries (the field itself
+	// is not synchronized); the cache is safe for concurrent queries.
+	NNCache *NNCache
+
 	// ctx is the per-call cancellation context. It is only ever set on the
 	// private per-call copy of the engine made by withCtx — never on a
 	// shared Engine — so concurrent queries cannot observe each other's
@@ -389,6 +397,44 @@ type Engine struct {
 	// goroutine-safe, so worker copies null it out and the coordinator
 	// notes the merged shared incumbent after the join.
 	any *anytime
+
+	// clusterNN is the cluster-local keyword-NN share of a grouped batch
+	// execution (batchgroup.go): validity-radius observations seeded by
+	// the cluster scan and reused across the cluster's members. Per-call
+	// state like nnmemo; not goroutine-safe, so worker copies null it.
+	clusterNN *nnShare
+
+	// warmBound is a grouped batch's warm-start upper bound: the cost of
+	// a finished neighbor's answer set, feasible for this query too. The
+	// exact searches use it only to pre-tighten their pruning bound (one
+	// ulp above, exact.go), never as an answer candidate, so warm and
+	// cold runs return identical results. Zero means no warm start.
+	warmBound float64
+
+	// ownerSrc, when non-nil, replaces the IR-tree relevant-NN iterator
+	// of the owner-driven exact search with a pre-materialized candidate
+	// source (the cluster's shared range scan, batchgroup.go). Per-call
+	// state; consumed by exactly one execution.
+	ownerSrc ownerSource
+}
+
+// ownerSource abstracts the candidate-owner stream of the owner-driven
+// exact search: ascending-distance relevant objects with monotone limit
+// tightening. Implemented by irtree.RelevantNNIterator (the default) and
+// by the grouped batch's shared-scan poolIter (batchgroup.go).
+type ownerSource interface {
+	Next() (*dataset.Object, float64, bool)
+	Limit(d float64)
+}
+
+// ownerIter returns the candidate-owner stream for one execution: the
+// per-call pre-materialized source when a grouped batch attached one,
+// else a fresh IR-tree iterator.
+func (e *Engine) ownerIter(q Query, qi *kwds.QueryIndex) ownerSource {
+	if e.ownerSrc != nil {
+		return e.ownerSrc
+	}
+	return e.Tree.NewRelevantNNIterator(q.Loc, qi)
 }
 
 // parWorkers resolves Parallelism to the worker count a parallel search
@@ -612,7 +658,7 @@ func (e *Engine) EvalCost(cost CostKind, q geo.Point, set []dataset.ObjectID) fl
 func (e *Engine) keywordNN(p geo.Point, kw kwds.ID) (dataset.ObjectID, float64, bool) {
 	m := e.nnmemo
 	if m == nil {
-		return e.Tree.NN(p, kw)
+		return e.lookupNN(p, kw)
 	}
 	if !m.valid || m.p != p {
 		m.reset(p)
@@ -622,9 +668,46 @@ func (e *Engine) keywordNN(p geo.Point, kw kwds.ID) (dataset.ObjectID, float64, 
 			return m.ids[i], m.ds[i], m.oks[i]
 		}
 	}
-	id, d, ok := e.Tree.NN(p, kw)
+	id, d, ok := e.lookupNN(p, kw)
 	m.add(kw, id, d, ok)
 	return id, d, ok
+}
+
+// lookupNN resolves one keyword NN below the per-query memo: the
+// cluster-local share of a grouped batch first, then the engine-level
+// NNCache, then the IR-tree. Every cache hit is validity-checked
+// (nncache.go), so the chain returns bit-identical results to a bare
+// Tree.NN regardless of which layer answers. Misses with a cache
+// attached walk NN2 — the same best-first search, continued one object
+// further — so the validity radius can be recorded.
+func (e *Engine) lookupNN(p geo.Point, kw kwds.ID) (dataset.ObjectID, float64, bool) {
+	s, c := e.clusterNN, e.NNCache
+	if s == nil && c == nil {
+		return e.Tree.NN(p, kw)
+	}
+	fault.Hit(fault.NNCacheProbe)
+	if s != nil {
+		if id, d, ok, hit := s.lookup(p, kw); hit {
+			return id, d, ok
+		}
+	}
+	if c != nil {
+		if id, d, ok, hit := c.Lookup(p, kw); hit {
+			return id, d, ok
+		}
+	}
+	id, d1, d2, ok := e.Tree.NN2(p, kw)
+	var loc geo.Point
+	if ok {
+		loc = e.DS.Object(id).Loc
+	}
+	if c != nil {
+		c.Store(p, kw, id, loc, d1, d2, ok)
+	}
+	if s != nil {
+		s.store(p, kw, id, loc, d1, d2, ok)
+	}
+	return id, d1, ok
 }
 
 // nnSeed computes the nearest neighbor set N(q), its cost under the given

@@ -61,6 +61,20 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 	e.noteIncumbent(curSet, curCost, cost)
 	stats.SetsEvaluated = 1
 
+	// bound is the pruning bound of the enumeration. It starts at the
+	// incumbent cost, except that a grouped batch may pre-tighten it one
+	// ulp above a warm-start upper bound (a finished neighbor's answer
+	// cost, feasible for this query too — batchgroup.go). The warm bound
+	// is used ONLY for pruning, never as an answer: any owner achieving
+	// the true optimum C has d(o,q) ≤ C ≤ warm < bound, so it is neither
+	// skipped nor cut from the pool, and bestWithOwner's strict
+	// acceptance (c < bound) still finds its DFS-first C-cost leaf — the
+	// same answer the cold run keeps (DESIGN.md §15).
+	bound := curCost
+	if wb := e.warmBound; wb > 0 && wb < bound {
+		bound = math.Nextafter(wb, math.Inf(1))
+	}
+
 	// pool holds every relevant object popped so far, ascending by d(·,q);
 	// bitCands[b] indexes the pool entries covering query keyword bit b.
 	// Both recycle through the scratch pool across queries.
@@ -73,9 +87,9 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 
 	loop := e.tr.Begin("owner_loop")
 	searchStart := time.Now()
-	it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
+	it := e.ownerIter(q, qi)
 	if !e.Ablation.NoIncumbentBreak {
-		it.Limit(curCost)
+		it.Limit(bound)
 	}
 	for {
 		fault.Hit(fault.OwnerEnum)
@@ -83,7 +97,7 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 		if !ok {
 			break
 		}
-		if dof >= curCost {
+		if dof >= bound {
 			// cost(S) ≥ d(owner, q) for any S containing an object this
 			// far, so the enumeration can stop (ablation A1 measures what
 			// this break is worth by degrading it to a per-owner skip).
@@ -115,8 +129,8 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 		stats.OwnersTried++
 		osp := e.tr.Begin("best_with_owner")
 		nodes0 := stats.NodesExpanded
-		set, c := e.bestWithOwner(qi, cost, pool, bitCands, int(idx), curCost, scratch, &stats)
-		improved := set != nil && c < curCost
+		set, c := e.bestWithOwner(qi, cost, pool, bitCands, int(idx), bound, scratch, &stats)
+		improved := set != nil
 		if osp != nil {
 			// Keep sub-search spans only for owners that improved the
 			// incumbent — the iterations that explain the answer — and
@@ -133,9 +147,10 @@ func (e *Engine) ownerExact(q Query, cost CostKind) (res Result, err error) {
 		}
 		if improved {
 			curSet, curCost = canonical(set), c
+			bound = c
 			e.noteIncumbent(curSet, curCost, cost)
 			if !e.Ablation.NoIncumbentBreak {
-				it.Limit(curCost)
+				it.Limit(bound)
 			}
 		}
 	}

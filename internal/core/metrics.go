@@ -44,6 +44,11 @@ type EngineMetrics struct {
 	nodes    *metrics.Histogram
 	cands    *metrics.Histogram
 	sets     *metrics.Histogram
+
+	batchQueries  *metrics.Counter
+	batchClusters *metrics.Counter
+	batchGrouped  *metrics.Counter
+	batchWarm     *metrics.Counter
 }
 
 // NewEngineMetrics returns a sink recording into reg (nil for a fresh
@@ -65,6 +70,11 @@ func NewEngineMetrics(reg *metrics.Registry) *EngineMetrics {
 		nodes:    reg.Histogram("coskq_query_nodes_expanded", effortBuckets),
 		cands:    reg.Histogram("coskq_query_candidates_seen", effortBuckets),
 		sets:     reg.Histogram("coskq_query_sets_evaluated", effortBuckets),
+
+		batchQueries:  reg.Counter("coskq_batch_queries_total"),
+		batchClusters: reg.Counter("coskq_batch_clusters_total"),
+		batchGrouped:  reg.Counter("coskq_batch_grouped_queries_total"),
+		batchWarm:     reg.Counter("coskq_batch_warm_starts_total"),
 	}
 }
 
@@ -82,6 +92,26 @@ func (m *EngineMetrics) QueriesTotal() uint64 { return m.queries.Value() }
 // DegradedTotal returns the cumulative number of degraded (anytime)
 // answers recorded.
 func (m *EngineMetrics) DegradedTotal() uint64 { return m.degraded.Value() }
+
+// recordBatch accumulates one grouped batch's shape: how many queries it
+// carried, how many clusters they collapsed into, and how many queries
+// rode in a multi-member cluster (the ones that shared work). Warm starts
+// count separately as they are applied (coskq_batch_warm_starts_total).
+func (m *EngineMetrics) recordBatch(queries int, clusters []batchCluster) {
+	m.batchQueries.Add(uint64(queries))
+	m.batchClusters.Add(uint64(len(clusters)))
+	grouped := 0
+	for _, cl := range clusters {
+		if len(cl.idxs) > 1 {
+			grouped += len(cl.idxs)
+		}
+	}
+	m.batchGrouped.Add(uint64(grouped))
+}
+
+// BatchWarmStarts returns the cumulative number of warm-started member
+// executions (for tests and the bench harness).
+func (m *EngineMetrics) BatchWarmStarts() uint64 { return m.batchWarm.Value() }
 
 // errorReason maps an execution error to a bounded label vocabulary.
 func errorReason(err error) string {

@@ -148,6 +148,15 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 
 	sh := newParShared(canonical(seed), seedCost)
 	e.noteIncumbent(sh.set, sh.cost, cost)
+	// A grouped batch's warm-start upper bound pre-tightens the shared
+	// pruning bound one ulp above it — the same tie-aware mechanism the
+	// workers use — while sh.cost/sh.set keep the seed as the answer
+	// fallback. The bound only ever prunes work whose cost exceeds the
+	// warm bound, which exceeds the optimum, so the (cost, ord) merge
+	// still lands on the serial cold run's answer (exact.go, §15).
+	if wb := e.warmBound; wb > 0 && wb < seedCost {
+		sh.bound.Store(math.Float64bits(math.Nextafter(wb, math.Inf(1))))
+	}
 	loop := e.tr.Begin("owner_loop")
 	grp := e.tr.BeginGroup("owner_workers")
 	searchStart := time.Now()
@@ -158,8 +167,10 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 	for w := 0; w < workers; w++ {
 		wc := *e
 		wc.shared = sh
-		wc.nnmemo = nil // not goroutine-safe; the sub-searches never seed
-		wc.any = nil    // ditto; workers publish through sh, noted at the join
+		wc.nnmemo = nil    // not goroutine-safe; the sub-searches never seed
+		wc.any = nil       // ditto; workers publish through sh, noted at the join
+		wc.clusterNN = nil // ditto; cluster NN share is coordinator-only
+		wc.ownerSrc = nil  // the candidate source belongs to the producer
 		wg.Add(1)
 		go func(wc *Engine, ws *Stats) {
 			defer wg.Done()
@@ -179,7 +190,7 @@ func (e *Engine) ownerExactPar(q Query, cost CostKind, workers int) (res Result,
 				sh.fail(r)
 			}
 		}()
-		it := e.Tree.NewRelevantNNIterator(q.Loc, qi)
+		it := e.ownerIter(q, qi)
 		ord := 0
 		for !sh.failed.Load() {
 			fault.Hit(fault.OwnerEnum)
@@ -316,6 +327,8 @@ func (e *Engine) caoSearchPar(qi *kwds.QueryIndex, cost CostKind, cands [][]kwCa
 		wc.shared = sh
 		wc.nnmemo = nil
 		wc.any = nil
+		wc.clusterNN = nil
+		wc.ownerSrc = nil
 		wg.Add(1)
 		go func(wc *Engine, ws *Stats) {
 			defer wg.Done()

@@ -58,6 +58,10 @@ type Options struct {
 	// Workers sets every engine's intra-query parallelism
 	// (0 = GOMAXPROCS, 1 = serial; coskq-bench -workers).
 	Workers int
+	// NNCache, when positive, enables each engine's cross-query
+	// keyword-NN cache with this capacity (coskq-bench -nn-cache).
+	// Answers are unaffected; only repeated NN work is.
+	NNCache int
 }
 
 // newEngine builds an engine for one experiment dataset with the suite's
@@ -66,6 +70,7 @@ func (o Options) newEngine(ds *dataset.Dataset) *core.Engine {
 	eng := core.NewEngine(ds, 0)
 	eng.Metrics = o.Metrics
 	eng.Parallelism = o.Workers
+	eng.EnableNNCache(o.NNCache)
 	return eng
 }
 

@@ -35,6 +35,7 @@ const (
 	PoolWorker   Point = "core.worker"   // parallel pool worker task body
 	ServerHandle Point = "server.handle" // HTTP handler entry (query/topk)
 	ShardFanout  Point = "shard.fanout"  // scatter-gather per-shard call body (shard.Router)
+	NNCacheProbe Point = "core.nncache"  // cross-query keyword-NN cache consult (core.lookupNN)
 )
 
 // Kind is the effect a rule injects when it fires.

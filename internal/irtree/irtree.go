@@ -171,6 +171,54 @@ func (t *Tree) nnConstrained(p geo.Point, kw kwds.ID, disk geo.Circle) (dataset.
 	return 0, 0, false
 }
 
+// NN2 returns the object nearest to p containing keyword kw together with
+// the distance of the SECOND-nearest such object (d2 = +Inf when the
+// keyword appears in exactly one object; ok = false when in none). The gap
+// d2-d1 is the cache-validity margin of the engine's cross-query NN cache:
+// any point within (d2-d1)/2 of p provably has the same keyword NN
+// (DESIGN.md §15). The traversal is the same best-first search as NN —
+// the first object popped is bit-identical to NN's answer — continued
+// until a second object surfaces.
+func (t *Tree) NN2(p geo.Point, kw kwds.ID) (id dataset.ObjectID, d1, d2 float64, ok bool) {
+	h := pqueue.New[nnHeapItem](64)
+	root := t.rt.Root()
+	if t.nodeKw[root.NodeID].Contains(kw) {
+		h.Push(nnHeapItem{node: root}, root.Rect.MinDist(p))
+	}
+	found := false
+	for !h.Empty() {
+		item, pri := h.Pop()
+		if item.node == nil {
+			if !found {
+				id, d1, found = item.obj, pri, true
+				continue
+			}
+			return id, d1, pri, true
+		}
+		n := item.node
+		if n.Leaf {
+			for _, e := range n.Entries {
+				o := t.ds.Object(dataset.ObjectID(e.ID))
+				if !o.Keywords.Contains(kw) {
+					continue
+				}
+				h.Push(nnHeapItem{obj: o.ID}, p.Dist(o.Loc))
+			}
+			continue
+		}
+		for _, c := range n.Children {
+			if !t.nodeKw[c.NodeID].Contains(kw) {
+				continue
+			}
+			h.Push(nnHeapItem{node: c}, c.Rect.MinDist(p))
+		}
+	}
+	if found {
+		return id, d1, math.Inf(1), true
+	}
+	return 0, 0, 0, false
+}
+
 // NNSet computes the paper's nearest neighbor set N(q): one nearest object
 // per query keyword (duplicates collapse). ok is false when some query
 // keyword appears in no object, i.e. the query is infeasible.

@@ -131,6 +131,7 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /query", s.adm.middleware(http.HandlerFunc(s.handleQuery)))
 	mux.Handle("GET /topk", s.adm.middleware(http.HandlerFunc(s.handleTopK)))
+	mux.Handle("POST /batch", s.adm.middleware(http.HandlerFunc(s.handleBatch)))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/slowlog", s.handleSlowLog)
@@ -275,6 +276,8 @@ func routeLabel(path string) string {
 		return "/query"
 	case "/topk":
 		return "/topk"
+	case "/batch":
+		return "/batch"
 	case "/healthz":
 		return "/healthz"
 	case "/metrics":
