@@ -11,6 +11,16 @@
 //	             [-degrade incumbent] [-max-inflight 64 -max-queue 128 -queue-timeout 2s]
 //	             [-budget-per-second 2e6] [-pprof]
 //
+// Live-index mode (see DESIGN.md §16):
+//
+//	coskq-server -data hotel.gob -live [-ingest-backlog 4096] [-compact-frac 0.25]
+//	    serves the same read surface over an epoch store, plus the
+//	    mutation surface: POST /objects applies a JSON batch of
+//	    insert/delete/edit ops (idempotent under a client "seq" token)
+//	    and POST /objects/stream ingests NDJSON, one op per line.
+//	    Reads pin one index generation end-to-end and never block on
+//	    writes; writes shed with 429 when the apply backlog is full.
+//
 // Scatter-gather modes (see DESIGN.md §12):
 //
 //	coskq-server -data hotel.gob -shards 4 [-partition grid|subtree]
@@ -59,6 +69,7 @@ import (
 	"coskq"
 	"coskq/internal/client"
 	"coskq/internal/core"
+	"coskq/internal/epoch"
 	"coskq/internal/metrics"
 	"coskq/internal/server"
 	"coskq/internal/shard"
@@ -84,6 +95,9 @@ func main() {
 		shardTO   = flag.Duration("shard-timeout", 0, "per-shard call deadline in scatter-gather modes (0 = bounded by -timeout)")
 		fedTO     = flag.Duration("federate-timeout", 0, "peer fan-out deadline for coordinator /metrics?federate=1 scrapes (0 = 2s default)")
 		nnCache   = flag.Int("nn-cache", 0, "engine keyword-NN cache capacity in entries, shared across queries (single-engine mode; 0 = disabled)")
+		live      = flag.Bool("live", false, "serve a mutable live index: mount POST /objects and /objects/stream over an epoch store (single-engine mode)")
+		backlog   = flag.Int("ingest-backlog", 0, "live mode: max pending mutation ops before writes shed with 429 (0 = 4096)")
+		compact   = flag.Float64("compact-frac", 0, "live mode: tombstone fraction triggering compaction (0 = 0.25, negative disables)")
 	)
 	flag.Parse()
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -112,6 +126,7 @@ func main() {
 	}
 
 	var handler http.Handler
+	closeStore := func() {}
 	switch {
 	case *peers != "":
 		var backends []shard.Backend
@@ -158,7 +173,14 @@ func main() {
 		eng.Parallelism = *workers
 		eng.Metrics = core.NewEngineMetrics(reg)
 		eng.EnableNNCache(*nnCache) // after Metrics: hit/miss counters register on reg
-		handler = server.NewWith(eng, opts)
+		if *live {
+			st := epoch.New(eng, epoch.Options{MaxBacklog: *backlog, CompactFrac: *compact})
+			closeStore = st.Close
+			handler = server.NewLive(st, opts)
+			logger.Info("live index enabled", "backlog", *backlog, "compact_frac", *compact)
+		} else {
+			handler = server.NewWith(eng, opts)
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -179,7 +201,10 @@ func main() {
 	}
 	logger.Info("listening", "addr", *addr, "timeout", *timeout, "budget", *budget,
 		"degrade", *degrade, "max_inflight", *inflight, "max_queue", *maxQueue)
-	if err := srv.ListenAndServe(); err != nil {
+	err := srv.ListenAndServe()
+	// Stop the applier before exit so in-flight deltas finish cleanly.
+	closeStore()
+	if err != nil {
 		logger.Error("server exited", "err", err)
 		os.Exit(1)
 	}

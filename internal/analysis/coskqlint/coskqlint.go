@@ -1,5 +1,5 @@
-// Package coskqlint assembles the repository's analyzer suite: the ten
-// machine-checked safety invariants of the CoSKQ engine and its
+// Package coskqlint assembles the repository's analyzer suite: the
+// eleven machine-checked safety invariants of the CoSKQ engine and its
 // distributed tier. cmd/coskq-lint exposes them as a go vet -vettool;
 // DESIGN.md ("Enforced invariants", first and second generation) maps
 // each analyzer to the contract it guards.
@@ -15,6 +15,7 @@ import (
 	"coskq/internal/analysis/budgetrecover"
 	"coskq/internal/analysis/ctxpoll"
 	"coskq/internal/analysis/detmaps"
+	"coskq/internal/analysis/epochpin"
 	"coskq/internal/analysis/errtyped"
 	"coskq/internal/analysis/geodist"
 	"coskq/internal/analysis/metriclabel"
@@ -26,7 +27,8 @@ import (
 
 // Analyzers returns the full suite in a stable order: the first
 // generation (engine invariants, PR 3) followed by the second
-// generation (distributed-tier invariants).
+// generation (distributed-tier invariants), then the live-index (epoch)
+// invariant.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		budgetrecover.Analyzer,
@@ -39,5 +41,6 @@ func Analyzers() []*analysis.Analyzer {
 		metriclabel.Analyzer,
 		poolscratch.Analyzer,
 		rpcdeadline.Analyzer,
+		epochpin.Analyzer,
 	}
 }

@@ -1,0 +1,331 @@
+// Package epochpin defines an analyzer enforcing the epoch snapshot
+// discipline: every generation pinned with Pin must be released with
+// Unpin on every control-flow path, or explicitly handed to a new owner.
+//
+// A pin is a refcount, not a lock: a leaked pin never deadlocks or
+// crashes — it silently keeps a dead generation's IR-tree and inverted
+// index alive forever, and the pinned-readers gauge drifts upward until
+// someone pages through heap profiles asking why compaction reclaims
+// nothing. That failure mode is invisible to tests (everything still
+// answers correctly), which is exactly why it gets a machine check.
+package epochpin
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/ctrlflow"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/cfg"
+
+	"coskq/internal/analysis/lintutil"
+)
+
+const Doc = `check that pinned epoch generations are unpinned on all paths
+
+Every call to a method named Pin whose result type has an Unpin method
+(the epoch.Store snapshot shape) must be balanced: the returned handle
+is either Unpinned on every control-flow path through the acquiring
+function — normally by a deferred Unpin so panic-unwind is covered —
+or transferred to a new owner by returning it (or its Unpin method
+value), storing it into a struct, or sending it on a channel.
+Discarding the handle is reported: an unreachable pin is never
+released, so the generation it holds is immortal and tombstone
+compaction stops reclaiming anything. Test files are exempt; a
+deliberately long-lived pin takes a //coskq:nolint(epochpin) with a
+reason.`
+
+var Analyzer = &analysis.Analyzer{
+	Name:     "epochpin",
+	Doc:      Doc,
+	Requires: []*analysis.Analyzer{inspect.Analyzer, ctrlflow.Analyzer},
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	rep := lintutil.NewReporter(pass)
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	cfgs := pass.ResultOf[ctrlflow.Analyzer].(*ctrlflow.CFGs)
+	ins.Preorder([]ast.Node{(*ast.FuncDecl)(nil), (*ast.FuncLit)(nil)}, func(n ast.Node) {
+		if strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go") {
+			return
+		}
+		runFunc(pass, rep, cfgs, n)
+	})
+	return nil, nil
+}
+
+// isPinCall matches a call to a method (or function) named Pin whose
+// single result type has an Unpin method — the snapshot-handle shape,
+// matched structurally so wrappers and fixtures qualify without
+// depending on the epoch package itself.
+func isPinCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := lintutil.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Pin" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 1 {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(sig.Results().At(0).Type(), true, fn.Pkg(), "Unpin")
+	_, isMethod := obj.(*types.Func)
+	return isMethod
+}
+
+// isUnpin reports whether n is v.Unpin() — possibly chained, as in
+// st.Pin().Unpin(), which is matched by the caller instead.
+func isUnpin(pass *analysis.Pass, n ast.Node, v types.Object) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Unpin" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == v
+}
+
+func runFunc(pass *analysis.Pass, rep *lintutil.Reporter, cfgs *ctrlflow.CFGs, node ast.Node) {
+	var body *ast.BlockStmt
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		body = n.Body
+	case *ast.FuncLit:
+		body = n.Body
+	}
+	if body == nil {
+		return
+	}
+
+	type pin struct {
+		v    types.Object
+		stmt ast.Node
+	}
+	var pins []pin
+	lintutil.WalkLocal(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			// st.Pin() with no holder — unless it is the immediate-unpin
+			// chain st.Pin().Unpin(), which is balanced (if pointless).
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if inner, ok := ast.Unparen(sel.X).(*ast.CallExpr); ok && isPinCall(pass, inner) {
+						if sel.Sel.Name != "Unpin" {
+							rep.Reportf(inner, "pinned generation is discarded: a pin with no holder is never unpinned, so the generation can never be reclaimed")
+						}
+						return true
+					}
+				}
+				if isPinCall(pass, call) {
+					rep.Reportf(call, "pinned generation is discarded: a pin with no holder is never unpinned, so the generation can never be reclaimed")
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != 1 || len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isPinCall(pass, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // stored straight into a field: ownership transfers
+			}
+			if id.Name == "_" {
+				rep.Reportf(call, "pinned generation is discarded: a pin with no holder is never unpinned, so the generation can never be reclaimed")
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				obj = pass.TypesInfo.Uses[id]
+			}
+			if obj != nil {
+				pins = append(pins, pin{v: obj, stmt: n})
+			}
+		}
+		return true
+	})
+	if len(pins) == 0 {
+		return
+	}
+
+	// A deferred Unpin anywhere discharges the obligation on every path,
+	// including panic-unwind; an Unpin inside a deferred closure counts.
+	deferred := make(map[types.Object]bool)
+	lintutil.WalkLocal(body, func(n ast.Node) bool {
+		def, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		for _, p := range pins {
+			if isUnpin(pass, def.Call, p.v) {
+				deferred[p.v] = true
+			}
+			if lit, ok := def.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if isUnpin(pass, m, p.v) {
+						deferred[p.v] = true
+					}
+					return !deferred[p.v]
+				})
+			}
+		}
+		return true
+	})
+
+	var g *cfg.CFG
+	switch n := node.(type) {
+	case *ast.FuncDecl:
+		g = cfgs.FuncDecl(n)
+	case *ast.FuncLit:
+		g = cfgs.FuncLit(n)
+	}
+	if g == nil {
+		return
+	}
+	for _, p := range pins {
+		if deferred[p.v] {
+			continue
+		}
+		if ret := leakPath(pass, g, p.v, p.stmt); ret != nil {
+			rep.Reportf(p.stmt, "pinned generation %s is not unpinned on all paths (missing Unpin before the return at line %d); prefer defer %s.Unpin() so panic-unwind is covered too",
+				p.v.Name(), pass.Fset.Position(ret.Pos()).Line, p.v.Name())
+		}
+	}
+}
+
+// leakPath finds a control-flow path from the pin to a return on which
+// v is neither unpinned nor transferred, and returns that return
+// statement; nil if every path discharges the obligation.
+//
+// Discharges: v.Unpin(); a return whose results mention v (returning
+// the handle, its Unpin method value, or a closure over it all transfer
+// the obligation to the caller); assigning v itself or its Unpin method
+// value to a new holder (alias, field store); placing v in a composite
+// literal; sending v on a channel. Reading a field off v (eng := v.Eng)
+// does not discharge — the pin obligation stays with v.
+func leakPath(pass *analysis.Pass, g *cfg.CFG, v types.Object, stmt ast.Node) *ast.ReturnStmt {
+	isV := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if sel, ok := e.(*ast.SelectorExpr); ok && sel.Sel.Name == "Unpin" {
+			e = ast.Unparen(sel.X)
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == v
+	}
+	mentionsV := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == v {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	discharges := func(stmts []ast.Node) bool {
+		found := false
+		for _, s := range stmts {
+			lintutil.WalkLocal(s, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if isUnpin(pass, n, v) {
+						found = true
+						return false
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if mentionsV(res) {
+							found = true
+							return false
+						}
+					}
+				case *ast.AssignStmt:
+					for _, rhs := range n.Rhs {
+						if isV(rhs) {
+							found = true
+							return false
+						}
+					}
+				case *ast.CompositeLit:
+					if mentionsV(n) {
+						found = true
+						return false
+					}
+				case *ast.SendStmt:
+					if mentionsV(n.Value) {
+						found = true
+						return false
+					}
+				}
+				return true
+			})
+			if found {
+				break
+			}
+		}
+		return found
+	}
+
+	var defblock *cfg.Block
+	var rest []ast.Node
+outer:
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if n == stmt {
+				defblock, rest = b, b.Nodes[i+1:]
+				break outer
+			}
+		}
+	}
+	if defblock == nil {
+		return nil
+	}
+	if discharges(rest) {
+		return nil
+	}
+	if ret := defblock.Return(); ret != nil {
+		return ret
+	}
+
+	memo := make(map[*cfg.Block]bool)
+	blockDischarges := func(b *cfg.Block) bool {
+		r, ok := memo[b]
+		if !ok {
+			r = discharges(b.Nodes)
+			memo[b] = r
+		}
+		return r
+	}
+	seen := make(map[*cfg.Block]bool)
+	var search func(blocks []*cfg.Block) *ast.ReturnStmt
+	search = func(blocks []*cfg.Block) *ast.ReturnStmt {
+		for _, b := range blocks {
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			if blockDischarges(b) {
+				continue
+			}
+			if ret := b.Return(); ret != nil {
+				return ret
+			}
+			if ret := search(b.Succs); ret != nil {
+				return ret
+			}
+		}
+		return nil
+	}
+	return search(defblock.Succs)
+}

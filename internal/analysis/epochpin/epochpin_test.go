@@ -1,0 +1,12 @@
+package epochpin_test
+
+import (
+	"testing"
+
+	"coskq/internal/analysis/analyzertest"
+	"coskq/internal/analysis/epochpin"
+)
+
+func TestEpochpin(t *testing.T) {
+	analyzertest.Run(t, "testdata", epochpin.Analyzer, "epoch")
+}

@@ -1,0 +1,146 @@
+package client
+
+// Mutation surface: POST /objects with idempotency-safe retries. The
+// retry loop is the same overload-aware policy as the query endpoints,
+// but a retried mutation is not naturally safe — the first attempt may
+// have been applied and only its response lost (a 502 from a proxy, a
+// cut connection after commit). Objects therefore stamps each logical
+// batch with one client-generated sequence token before the retry loop
+// starts; every attempt carries the same token, and the server's
+// sequence cache replays the recorded per-item statuses instead of
+// re-applying the batch. At-most-once application, exactly-once
+// observed outcome.
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ObjectOp is one mutation in a POST /objects batch. Op is "insert",
+// "delete" or "edit". Key is optional on inserts (nil means the server
+// assigns one) and required on deletes and edits.
+type ObjectOp struct {
+	Op  string   `json:"op"`
+	Key *uint64  `json:"key,omitempty"`
+	X   float64  `json:"x"`
+	Y   float64  `json:"y"`
+	Kw  []string `json:"kw,omitempty"`
+}
+
+// KeyOf is a convenience for building ops that address an existing key.
+func KeyOf(k uint64) *uint64 { return &k }
+
+// ObjectResult is the per-op outcome: Key echoes the (possibly
+// server-assigned) object key, Error is empty for accepted ops.
+type ObjectResult struct {
+	Key   uint64 `json:"key"`
+	Error string `json:"error,omitempty"`
+}
+
+// ObjectsResponse mirrors the server's POST /objects body. Replayed
+// reports that the server recognized the batch's sequence token and
+// returned the recorded outcome instead of applying again — the signal
+// that an earlier attempt's response was lost, not the work.
+type ObjectsResponse struct {
+	Gen      uint64         `json:"gen"`
+	Replayed bool           `json:"replayed,omitempty"`
+	Results  []ObjectResult `json:"results"`
+}
+
+// newSeqToken returns a fresh random idempotency token.
+func newSeqToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is unrecoverable in practice; an empty
+		// token degrades to non-idempotent retries rather than panicking.
+		return ""
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Objects applies one batch of mutations, retrying transient failures
+// under one idempotency token so the batch applies at most once even
+// when a response is lost mid-retry.
+func (c *Client) Objects(ctx context.Context, ops []ObjectOp) (*ObjectsResponse, error) {
+	body, err := json.Marshal(struct {
+		Seq string     `json:"seq"`
+		Ops []ObjectOp `json:"ops"`
+	}{Seq: newSeqToken(), Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	var out ObjectsResponse
+	if err := c.postJSON(ctx, "/objects", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// postJSON runs the retry loop for one logical POST. The marshaled
+// body is replayed verbatim on every attempt (a fresh bytes.Reader per
+// attempt — http.Client consumes the body), so all attempts are
+// byte-identical, sequence token included.
+func (c *Client) postJSON(ctx context.Context, path string, body []byte, out any) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = defaultHTTPClient
+	}
+	retries := c.MaxRetries
+	if retries == 0 {
+		retries = DefaultMaxRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	u := strings.TrimSuffix(c.Base, "/") + path
+
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		injectContextHeaders(ctx, req)
+		resp, err := httpc.Do(req)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			lastErr = err
+		case resp.StatusCode == http.StatusOK:
+			err := json.NewDecoder(resp.Body).Decode(out)
+			resp.Body.Close()
+			return err
+		default:
+			apiErr := &APIError{Status: resp.StatusCode, Attempts: attempt + 1}
+			var envelope struct {
+				Error string `json:"error"`
+			}
+			if json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&envelope) == nil {
+				apiErr.Message = envelope.Error
+			}
+			if ra, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				apiErr.RetryAfter = ra
+			}
+			resp.Body.Close()
+			if !retryableStatus(resp.StatusCode) {
+				return apiErr
+			}
+			lastErr = apiErr
+		}
+		if attempt >= retries {
+			return lastErr
+		}
+		if err := c.wait(ctx, c.backoff(attempt, lastErr)); err != nil {
+			return err
+		}
+	}
+}

@@ -25,6 +25,8 @@ type ShardMetaResponse struct {
 	Empty   bool    `json:"empty"`
 	// Summary is the hex-encoded keyword bitset (shard.Summary wire form).
 	Summary string `json:"summary"`
+	// Gen is the shard's index generation (0 for static datasets).
+	Gen uint64 `json:"gen"`
 }
 
 // ShardNNHit mirrors one entry of the server's /shard/nn body: the
@@ -44,6 +46,7 @@ type ShardNNHit struct {
 // remote input that trace.DecodeFragment validates under hard limits
 // before anything is stitched.
 type ShardNNResponse struct {
+	Gen   uint64          `json:"gen"`
 	Hits  []ShardNNHit    `json:"hits"`
 	Trace json.RawMessage `json:"trace,omitempty"`
 }
@@ -59,6 +62,7 @@ type ShardObject struct {
 // ShardCollectResponse mirrors the server's /shard/collect body; Trace
 // is the optional fragment, as on ShardNNResponse.
 type ShardCollectResponse struct {
+	Gen     uint64          `json:"gen"`
 	Objects []ShardObject   `json:"objects"`
 	Trace   json.RawMessage `json:"trace,omitempty"`
 }

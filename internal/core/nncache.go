@@ -137,6 +137,11 @@ func (e *Engine) EnableNNCache(capacity int) *NNCache {
 	return c
 }
 
+// Capacity returns the total entry capacity the cache was built with
+// (rounded up to one entry per shard). NewEngineLike uses it to size a
+// fresh cache for a rebuilt generation.
+func (c *NNCache) Capacity() int { return c.perShard * nnCacheShards }
+
 // Hits returns the cumulative number of validated cache hits.
 func (c *NNCache) Hits() uint64 { return c.hits.Value() }
 

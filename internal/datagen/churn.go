@@ -1,0 +1,178 @@
+package datagen
+
+// Churn streams: deterministic interleaved mutation workloads for the
+// live-index (epoch) layer. A ChurnStream draws an op kind from the
+// configured mix, picks delete/edit targets uniformly from the keys it
+// knows to be live, and draws keywords with the same Zipfian skew the
+// dataset generators use — so a churned index keeps the frequency
+// structure the CoSKQ pruning bounds depend on. The stream is a pure
+// function of its config (seed included): the chaos suite and the
+// benchmarks replay identical schedules, and the differential harness
+// can rebuild the exact post-churn state from the op history alone.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"coskq/internal/geo"
+)
+
+// ChurnOp is one mutation in a churn schedule. Kind is "insert",
+// "delete" or "edit" (matching the epoch store's op vocabulary). Every
+// op carries an explicit Key — inserts get stream-assigned keys from a
+// high-watermark starting at SeedKeys — so a schedule is self-contained:
+// replaying it against any store, or a from-scratch reconstruction,
+// addresses identical object identities.
+type ChurnOp struct {
+	Kind  string
+	Key   uint64
+	Loc   geo.Point
+	Words []string
+}
+
+// ChurnConfig parameterizes a churn stream.
+type ChurnConfig struct {
+	Seed int64
+	// Ops is the schedule length.
+	Ops int
+	// SeedKeys are the keys live before the stream starts (the seed
+	// dataset's keys, 0..n-1 for a fresh epoch store over n objects).
+	SeedKeys int
+	// PInsert and PDelete weight the op mix; the remainder is edits.
+	// Both zero means the default 0.4/0.3 (0.3 edits).
+	PInsert, PDelete float64
+	// Vocab is the keyword universe size (words "w000000"... as the
+	// dataset generators intern them). 0 means 64.
+	Vocab int
+	// ZipfS is the keyword frequency skew (>1; 0 = 1.1).
+	ZipfS float64
+	// KeywordsPerOp is the maximum keywords an insert/edit carries
+	// (uniform in [1, KeywordsPerOp]). 0 means 4.
+	KeywordsPerOp int
+	// Region is the world square [0, Region]² locations are drawn from.
+	// 0 means 1000.
+	Region float64
+}
+
+func (c ChurnConfig) withDefaults() ChurnConfig {
+	if c.PInsert == 0 && c.PDelete == 0 {
+		c.PInsert, c.PDelete = 0.4, 0.3
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 64
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.1
+	}
+	if c.KeywordsPerOp == 0 {
+		c.KeywordsPerOp = 4
+	}
+	if c.Region == 0 {
+		c.Region = 1000
+	}
+	return c
+}
+
+// ChurnStream generates a churn schedule. Not safe for concurrent use.
+type ChurnStream struct {
+	cfg  ChurnConfig
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	// live tracks keys currently live from the stream's perspective:
+	// seed keys plus inserts it has emitted (the epoch store assigns
+	// insert keys from a high-watermark starting at SeedKeys, which the
+	// stream mirrors), minus deletes.
+	live    []uint64
+	nextKey uint64
+	emitted int
+}
+
+// NewChurnStream returns a stream over cfg, deterministic in cfg.Seed.
+func NewChurnStream(cfg ChurnConfig) *ChurnStream {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := &ChurnStream{
+		cfg:     cfg,
+		rng:     rng,
+		zipf:    rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Vocab-1)),
+		live:    make([]uint64, cfg.SeedKeys),
+		nextKey: uint64(cfg.SeedKeys),
+	}
+	for i := range s.live {
+		s.live[i] = uint64(i)
+	}
+	return s
+}
+
+// words draws a Zipf-skewed keyword set of 1..KeywordsPerOp distinct
+// words.
+func (s *ChurnStream) words() []string {
+	n := 1 + s.rng.Intn(s.cfg.KeywordsPerOp)
+	seen := make(map[uint64]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		w := s.zipf.Uint64()
+		if seen[w] {
+			// Collisions concentrate on the hot head of the Zipf; accept
+			// fewer words rather than loop unboundedly on tiny vocabularies.
+			if len(out) > 0 && s.rng.Intn(2) == 0 {
+				break
+			}
+			continue
+		}
+		seen[w] = true
+		out = append(out, fmt.Sprintf("w%06d", w))
+	}
+	return out
+}
+
+func (s *ChurnStream) loc() geo.Point {
+	return geo.Point{X: s.rng.Float64() * s.cfg.Region, Y: s.rng.Float64() * s.cfg.Region}
+}
+
+// Next returns the next op and false when the schedule is exhausted.
+func (s *ChurnStream) Next() (ChurnOp, bool) {
+	if s.emitted >= s.cfg.Ops {
+		return ChurnOp{}, false
+	}
+	s.emitted++
+	r := s.rng.Float64()
+	switch {
+	case r < s.cfg.PInsert || len(s.live) == 0:
+		key := s.nextKey
+		s.nextKey++
+		s.live = append(s.live, key)
+		return ChurnOp{Kind: "insert", Key: key, Loc: s.loc(), Words: s.words()}, true
+	case r < s.cfg.PInsert+s.cfg.PDelete:
+		i := s.rng.Intn(len(s.live))
+		key := s.live[i]
+		s.live[i] = s.live[len(s.live)-1]
+		s.live = s.live[:len(s.live)-1]
+		return ChurnOp{Kind: "delete", Key: key}, true
+	default:
+		// Edits are keyword-only in the epoch op vocabulary; no location.
+		key := s.live[s.rng.Intn(len(s.live))]
+		return ChurnOp{Kind: "edit", Key: key, Words: s.words()}, true
+	}
+}
+
+// All drains the stream into a slice — the whole schedule at once for
+// callers that batch it themselves.
+func (s *ChurnStream) All() []ChurnOp {
+	out := make([]ChurnOp, 0, s.cfg.Ops-s.emitted)
+	for {
+		op, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, op)
+	}
+}
+
+// Live returns a copy of the keys the stream currently considers live —
+// the expected live set after applying every emitted op in order.
+func (s *ChurnStream) Live() []uint64 {
+	out := make([]uint64, len(s.live))
+	copy(out, s.live)
+	return out
+}

@@ -1,0 +1,95 @@
+package datagen
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestChurnStreamDeterministic(t *testing.T) {
+	cfg := ChurnConfig{Seed: 7, Ops: 500, SeedKeys: 100}
+	a := NewChurnStream(cfg).All()
+	b := NewChurnStream(cfg).All()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	if len(a) != 500 {
+		t.Fatalf("schedule length = %d, want 500", len(a))
+	}
+	c := NewChurnStream(ChurnConfig{Seed: 8, Ops: 500, SeedKeys: 100}).All()
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestChurnStreamConsistency(t *testing.T) {
+	s := NewChurnStream(ChurnConfig{Seed: 3, Ops: 2000, SeedKeys: 50})
+	live := make(map[uint64]bool, 50)
+	for i := 0; i < 50; i++ {
+		live[uint64(i)] = true
+	}
+	var inserts, deletes, edits int
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		switch op.Kind {
+		case "insert":
+			inserts++
+			if live[op.Key] {
+				t.Fatalf("insert reuses live key %d", op.Key)
+			}
+			if len(op.Words) == 0 {
+				t.Fatal("insert carries no keywords")
+			}
+			live[op.Key] = true
+		case "delete":
+			deletes++
+			if !live[op.Key] {
+				t.Fatalf("delete addresses dead key %d", op.Key)
+			}
+			delete(live, op.Key)
+		case "edit":
+			edits++
+			if !live[op.Key] {
+				t.Fatalf("edit addresses dead key %d", op.Key)
+			}
+			if len(op.Words) == 0 {
+				t.Fatal("edit carries no keywords")
+			}
+		default:
+			t.Fatalf("unknown kind %q", op.Kind)
+		}
+	}
+	if inserts == 0 || deletes == 0 || edits == 0 {
+		t.Fatalf("mix degenerate: %d inserts, %d deletes, %d edits", inserts, deletes, edits)
+	}
+	// The stream's own live set must agree with the replayed one.
+	got := s.Live()
+	if len(got) != len(live) {
+		t.Fatalf("stream live set %d keys, replay says %d", len(got), len(live))
+	}
+	for _, k := range got {
+		if !live[k] {
+			t.Fatalf("stream claims key %d live, replay disagrees", k)
+		}
+	}
+}
+
+func TestChurnStreamKeywordSkew(t *testing.T) {
+	s := NewChurnStream(ChurnConfig{Seed: 11, Ops: 4000, SeedKeys: 10, Vocab: 256})
+	counts := map[string]int{}
+	for {
+		op, ok := s.Next()
+		if !ok {
+			break
+		}
+		for _, w := range op.Words {
+			counts[w]++
+		}
+	}
+	// Zipf skew: the most frequent word should dominate the median one.
+	if counts["w000000"] < 10*max(counts["w000100"], 1) {
+		t.Fatalf("no keyword skew: w000000=%d w000100=%d", counts["w000000"], counts["w000100"])
+	}
+}

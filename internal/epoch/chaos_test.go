@@ -1,0 +1,215 @@
+package epoch
+
+// Churn chaos proofs. Deterministic faults are injected at the three
+// applier points — EpochApply (per-delta merge), CompactRun (tombstone
+// compaction), EpochSwap (just before the atomic publish) — across
+// every fault kind and hit position, and the invariants checked are:
+//
+//  1. A crashed apply leaves the old generation intact: readers pinned
+//     before the crash answer bit-identically after it.
+//  2. The applier's retry converges once the fault stops firing, and
+//     the converged state is bit-identical to a from-scratch rebuild —
+//     a failed attempt leaves no residue the retry could double-apply.
+//  3. A reader pinned across N generation swaps keeps answering from
+//     its pinned generation, bit-identically, for all five costs.
+//
+// Run with -race: the suite doubles as the torn-read detector.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"coskq/internal/core"
+	"coskq/internal/datagen"
+	"coskq/internal/fault"
+	"coskq/internal/geo"
+	"coskq/internal/testutil"
+)
+
+var chaosPoints = []fault.Point{fault.EpochApply, fault.CompactRun, fault.EpochSwap}
+
+var chaosKinds = []fault.Kind{fault.KindLatency, fault.KindCancel, fault.KindBudget, fault.KindPanic}
+
+// runChaosSchedule drives a fixed churn schedule through a store while
+// one fault rule is armed, waits for convergence, then cross-checks the
+// final state against the independent replayer. CompactFrac is set
+// aggressively so CompactRun is actually reached every pass.
+func runChaosSchedule(t *testing.T, rule fault.Rule) {
+	t.Helper()
+	testutil.CheckGoroutineLeaks(t)
+	const seedObjects = 50
+	ds := datagen.Generate(datagen.Config{
+		Name: "chaos", NumObjects: seedObjects, VocabSize: 32, AvgKeywords: 3, Seed: 13,
+	})
+	st := New(core.NewEngine(ds, 0), Options{CompactFrac: 0.01, RetryDelay: 100 * time.Microsecond})
+	defer st.Close()
+	model := newReplayer(ds)
+
+	disarm := fault.Arm(uint64(17), rule)
+	defer disarm()
+
+	stream := datagen.NewChurnStream(datagen.ChurnConfig{
+		Seed: 13, Ops: 120, SeedKeys: seedObjects, Vocab: 32, PInsert: 0.35, PDelete: 0.35,
+	})
+	var batch []Op
+	for {
+		op, ok := stream.Next()
+		if !ok {
+			break
+		}
+		model.apply(op)
+		batch = append(batch, toEpochOp(op))
+		if len(batch) >= 8 {
+			flushChurn(t, st, batch)
+			batch = batch[:0]
+		}
+	}
+	flushChurn(t, st, batch)
+	// Count-limited rules stop firing, so the retry loop converges.
+	waitIdle(t, st)
+
+	ref, refKeys := model.rebuild("chaos", st.opts.Fanout)
+	g := st.Pin()
+	defer g.Unpin()
+	if g.Eng.DS.Len() != ref.DS.Len() {
+		t.Fatalf("converged store has %d objects, rebuild has %d", g.Eng.DS.Len(), ref.DS.Len())
+	}
+	for qi := 0; qi < 4; qi++ {
+		loc := geo.Point{X: float64(qi) * 250, Y: float64(qi) * 200}
+		words := []string{"w000000", fmt.Sprintf("w%06d", qi+1)}
+		for _, cost := range allCosts {
+			diffQuery(t, g, ref, refKeys, loc, words, cost, core.OwnerExact)
+			diffQuery(t, g, ref, refKeys, loc, words, cost, core.OwnerAppro)
+		}
+	}
+}
+
+// TestChaosMatrix exercises every point × kind × hit position: rule
+// {After: k-1, Every: 1, Count: 2} kills (or delays) the k-th and
+// k+1-th hits of the point, covering both the first attempt and its
+// retry.
+func TestChaosMatrix(t *testing.T) {
+	for _, point := range chaosPoints {
+		for _, kind := range chaosKinds {
+			for _, hit := range []uint64{1, 2, 5} {
+				rule := fault.Rule{
+					Point: point, Kind: kind,
+					After: hit - 1, Every: 1, Count: 2,
+					Latency: 200 * time.Microsecond,
+				}
+				name := fmt.Sprintf("%s/kind%d/hit%d", point, kind, hit)
+				t.Run(name, func(t *testing.T) { runChaosSchedule(t, rule) })
+			}
+		}
+	}
+}
+
+// TestCrashLeavesOldGenerationIntact pins generation 0, crashes the
+// applier mid-apply repeatedly, and asserts the pinned generation's
+// answer never changes while the store is failing — then converges
+// correctly once the fault is exhausted.
+func TestCrashLeavesOldGenerationIntact(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ds := datagen.Generate(datagen.Config{
+		Name: "crash", NumObjects: 40, VocabSize: 24, AvgKeywords: 3, Seed: 21,
+	})
+	// A long retry delay keeps the store in its failing window while the
+	// test inspects it; convergence still only needs three backoffs.
+	st := New(core.NewEngine(ds, 0), Options{RetryDelay: 150 * time.Millisecond})
+	defer st.Close()
+
+	g0 := st.Pin()
+	defer g0.Unpin()
+	loc := geo.Point{X: 500, Y: 500}
+	words := []string{"w000000", "w000001"}
+	before, berr := query(g0, loc, words, core.MaxSum, core.OwnerExact)
+
+	// The first 3 apply attempts die at the swap point — after the full
+	// merge and build, the worst place to crash.
+	disarm := fault.Arm(3, fault.Rule{Point: fault.EpochSwap, Kind: fault.KindPanic, Every: 1, Count: 3})
+	defer disarm()
+
+	if _, err := st.ApplyBatch([]Op{{Kind: OpInsert, Words: []string{"w000000"}}}); err != nil {
+		t.Fatal(err)
+	}
+	// While attempts are failing, the published generation must stay 0.
+	testutil.WaitFor(t, 5*time.Second, "first apply failure", func() bool {
+		return st.m.applyFailures.Value() >= 1
+	})
+	if got := st.Current(); got != 0 {
+		t.Fatalf("generation swapped to %d during failing applies", got)
+	}
+	after, aerr := query(g0, loc, words, core.MaxSum, core.OwnerExact)
+	if (berr == nil) != (aerr == nil) || (berr == nil && (before.Cost != after.Cost || len(before.Set) != len(after.Set))) {
+		t.Fatalf("pinned generation answer changed under applier crashes: %v/%v vs %v/%v", before.Cost, berr, after.Cost, aerr)
+	}
+
+	waitIdle(t, st)
+	if st.m.applyFailures.Value() < 3 {
+		t.Fatalf("applyFailures = %d, want >= 3", st.m.applyFailures.Value())
+	}
+	g := st.Pin()
+	defer g.Unpin()
+	if g.Gen == 0 || g.Eng.DS.Len() != 41 {
+		t.Fatalf("retry did not converge: gen %d, %d objects (want 41 — exactly-once apply)", g.Gen, g.Eng.DS.Len())
+	}
+}
+
+// TestReaderPinnedAcrossSwaps pins one generation, then churns through
+// N swaps; the pinned reader's answers stay bit-identical to the
+// snapshot it holds, for every cost.
+func TestReaderPinnedAcrossSwaps(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	ds := datagen.Generate(datagen.Config{
+		Name: "pinned", NumObjects: 50, VocabSize: 24, AvgKeywords: 3, Seed: 31,
+	})
+	st := New(core.NewEngine(ds, 0), Options{CompactFrac: 0.05})
+	defer st.Close()
+
+	g0 := st.Pin()
+	defer g0.Unpin()
+	loc := geo.Point{X: 300, Y: 700}
+	words := []string{"w000000", "w000002"}
+	type snap struct {
+		cost float64
+		n    int
+		err  bool
+	}
+	baseline := map[core.CostKind]snap{}
+	for _, cost := range allCosts {
+		res, err := query(g0, loc, words, cost, core.OwnerExact)
+		baseline[cost] = snap{cost: res.Cost, n: len(res.Set), err: err != nil}
+	}
+
+	stream := datagen.NewChurnStream(datagen.ChurnConfig{
+		Seed: 31, Ops: 60, SeedKeys: 50, Vocab: 24,
+	})
+	swaps := 0
+	for {
+		op, ok := stream.Next()
+		if !ok {
+			break
+		}
+		pre := st.Current()
+		flushChurn(t, st, []Op{toEpochOp(op)})
+		waitIdle(t, st)
+		if st.Current() != pre {
+			swaps++
+		}
+		for _, cost := range allCosts {
+			res, err := query(g0, loc, words, cost, core.OwnerExact)
+			want := baseline[cost]
+			if (err != nil) != want.err || res.Cost != want.cost || len(res.Set) != want.n {
+				t.Fatalf("after %d swaps, pinned reader's %v answer drifted: cost %v (want %v), %d members (want %d), err %v",
+					swaps, cost, res.Cost, want.cost, len(res.Set), want.n, err)
+			}
+		}
+	}
+	if swaps < 30 {
+		t.Fatalf("only %d swaps observed, want a real churn history", swaps)
+	}
+	if g0.Pins() != 1 {
+		t.Fatalf("pins = %d, want 1", g0.Pins())
+	}
+}

@@ -1,0 +1,302 @@
+package epoch
+
+// Differential proof: after every seeded churn schedule, the live epoch
+// store's answers are bit-identical — cost AND canonical member set,
+// all five cost functions, exact and approximation — to an index
+// rebuilt from scratch by an independent replayer. The replayer shares
+// no code with the applier: it maintains a plain ordered list of live
+// objects (insert appends, delete removes, edit updates in place, a
+// re-insert of a tombstoned key appends), which is exactly the live
+// order the applier's tombstone-preserving table + compaction contract
+// promises. Identical live order ⇒ identical intern order ⇒ identical
+// vocabulary and ObjectIDs ⇒ answers must match bit for bit.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"coskq/internal/core"
+	"coskq/internal/datagen"
+	"coskq/internal/dataset"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+	"coskq/internal/testutil"
+)
+
+// replayObj is one live object in the reference replayer.
+type replayObj struct {
+	key   uint64
+	loc   geo.Point
+	words []string
+}
+
+// replayer is the independent model of the mutation semantics.
+type replayer struct {
+	live []replayObj
+}
+
+// newReplayer seeds the model from a dataset exactly as New seeds the
+// store's table: keys 0..n-1 in object order.
+func newReplayer(ds *dataset.Dataset) *replayer {
+	r := &replayer{live: make([]replayObj, ds.Len())}
+	for i := range ds.Objects {
+		o := &ds.Objects[i]
+		words := make([]string, o.Keywords.Len())
+		for j, id := range o.Keywords {
+			words[j] = ds.Vocab.Word(id)
+		}
+		r.live[i] = replayObj{key: uint64(i), loc: o.Loc, words: words}
+	}
+	return r
+}
+
+func (r *replayer) apply(op datagen.ChurnOp) {
+	switch op.Kind {
+	case "insert":
+		r.live = append(r.live, replayObj{key: op.Key, loc: op.Loc, words: op.Words})
+	case "delete":
+		for i := range r.live {
+			if r.live[i].key == op.Key {
+				r.live = append(r.live[:i], r.live[i+1:]...)
+				return
+			}
+		}
+		panic(fmt.Sprintf("replayer: delete of dead key %d", op.Key))
+	case "edit":
+		// Keyword-only, matching the epoch op contract.
+		for i := range r.live {
+			if r.live[i].key == op.Key {
+				r.live[i].words = op.Words
+				return
+			}
+		}
+		panic(fmt.Sprintf("replayer: edit of dead key %d", op.Key))
+	}
+}
+
+// rebuild constructs a fresh engine from the model's live objects, in
+// live order — the from-scratch index the live store is checked against.
+func (r *replayer) rebuild(name string, fanout int) (*core.Engine, []uint64) {
+	b := dataset.NewBuilder(name)
+	keys := make([]uint64, len(r.live))
+	for i, o := range r.live {
+		b.Add(o.loc, o.words...)
+		keys[i] = o.key
+	}
+	return core.NewEngine(b.Build(), fanout), keys
+}
+
+func toEpochOp(op datagen.ChurnOp) Op {
+	return Op{Kind: OpKind(op.Kind), Key: op.Key, HasKey: true, Loc: op.Loc, Words: op.Words}
+}
+
+var allCosts = []core.CostKind{core.MaxSum, core.Dia, core.Sum, core.MinMax, core.SumMax}
+
+// diffQuery solves one (query, cost, method) on both engines and
+// demands bit-identical outcomes: same error, same cost, same canonical
+// key set.
+func diffQuery(t *testing.T, liveGen *Generation, ref *core.Engine, refKeys []uint64,
+	loc geo.Point, words []string, cost core.CostKind, method core.Method) {
+	t.Helper()
+	resolve := func(eng *core.Engine) (kwds.Set, bool) {
+		var set kwds.Set
+		for _, w := range words {
+			id, ok := eng.DS.Vocab.Lookup(w)
+			if !ok {
+				return set, false
+			}
+			set = set.Union(kwds.NewSet(id))
+		}
+		return set, true
+	}
+	lq, lok := resolve(liveGen.Eng)
+	rq, rok := resolve(ref)
+	if lok != rok {
+		t.Fatalf("%v/%v kw=%v: vocab divergence live=%v ref=%v", cost, method, words, lok, rok)
+	}
+	if !lok {
+		return
+	}
+	lres, lerr := liveGen.Eng.Solve(core.Query{Loc: loc, Keywords: lq}, cost, method)
+	rres, rerr := ref.Solve(core.Query{Loc: loc, Keywords: rq}, cost, method)
+	if (lerr == nil) != (rerr == nil) {
+		t.Fatalf("%v/%v kw=%v: live err=%v ref err=%v", cost, method, words, lerr, rerr)
+	}
+	if lerr != nil {
+		return
+	}
+	if lres.Cost != rres.Cost {
+		t.Fatalf("%v/%v kw=%v: live cost %v != ref cost %v", cost, method, words, lres.Cost, rres.Cost)
+	}
+	lkeys := make(map[uint64]bool, len(lres.Set))
+	for _, id := range lres.Set {
+		lkeys[liveGen.Key(id)] = true
+	}
+	if len(lres.Set) != len(rres.Set) {
+		t.Fatalf("%v/%v kw=%v: set sizes %d != %d", cost, method, words, len(lres.Set), len(rres.Set))
+	}
+	for _, id := range rres.Set {
+		if !lkeys[refKeys[id]] {
+			t.Fatalf("%v/%v kw=%v: ref member key %d missing from live set", cost, method, words, refKeys[id])
+		}
+	}
+}
+
+// runDifferential drives one seeded schedule through a live store and
+// the replayer, then cross-checks a query battery over every cost ×
+// exact+appro.
+func runDifferential(t *testing.T, seed int64, churnOps, batchSize int, opts Options) {
+	testutil.CheckGoroutineLeaks(t)
+	const seedObjects = 80
+	ds := datagen.Generate(datagen.Config{
+		Name: "diff", NumObjects: seedObjects, VocabSize: 48, AvgKeywords: 3, Seed: seed,
+	})
+	st := New(core.NewEngine(ds, 0), opts)
+	defer st.Close()
+	model := newReplayer(ds)
+
+	stream := datagen.NewChurnStream(datagen.ChurnConfig{
+		Seed: seed, Ops: churnOps, SeedKeys: seedObjects, Vocab: 48,
+	})
+	var batch []Op
+	for {
+		op, ok := stream.Next()
+		if !ok {
+			break
+		}
+		model.apply(op)
+		batch = append(batch, toEpochOp(op))
+		if len(batch) >= batchSize {
+			flushChurn(t, st, batch)
+			batch = batch[:0]
+		}
+	}
+	flushChurn(t, st, batch)
+	waitIdle(t, st)
+
+	ref, refKeys := model.rebuild("diff", st.opts.Fanout)
+	g := st.Pin()
+	defer g.Unpin()
+
+	if g.Eng.DS.Len() != ref.DS.Len() {
+		t.Fatalf("live has %d objects, rebuild has %d", g.Eng.DS.Len(), ref.DS.Len())
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for qi := 0; qi < 12; qi++ {
+		loc := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		nw := 2 + rng.Intn(3)
+		words := make([]string, nw)
+		for i := range words {
+			words[i] = fmt.Sprintf("w%06d", rng.Intn(12)) // hot head: usually feasible
+		}
+		for _, cost := range allCosts {
+			for _, method := range []core.Method{core.OwnerExact, core.OwnerAppro} {
+				diffQuery(t, g, ref, refKeys, loc, words, cost, method)
+			}
+		}
+	}
+}
+
+// flushChurn applies one batch, asserting every op is accepted — the
+// stream only emits valid schedules.
+func flushChurn(t *testing.T, st *Store, batch []Op) {
+	t.Helper()
+	if len(batch) == 0 {
+		return
+	}
+	sts, err := st.ApplyBatch(batch)
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	for i, s := range sts {
+		if s.Err != "" {
+			t.Fatalf("churn op %d (%s key %d) rejected: %s", i, batch[i].Kind, batch[i].Key, s.Err)
+		}
+	}
+}
+
+func TestDifferentialAfterChurn(t *testing.T) {
+	for _, tc := range []struct {
+		seed       int64
+		ops, batch int
+		opts       Options
+	}{
+		{seed: 1, ops: 200, batch: 16, opts: Options{}},
+		{seed: 2, ops: 400, batch: 1, opts: Options{}},                   // one delta per op
+		{seed: 3, ops: 300, batch: 64, opts: Options{CompactFrac: 0.01}}, // compaction every pass
+		{seed: 4, ops: 500, batch: 32, opts: Options{CompactFrac: -1}},   // compaction disabled
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed%d_batch%d", tc.seed, tc.batch), func(t *testing.T) {
+			runDifferential(t, tc.seed, tc.ops, tc.batch, tc.opts)
+		})
+	}
+}
+
+// TestDifferentialConcurrentReaders runs the same proof while readers
+// continuously pin and solve during the churn — the -race leg that a
+// swap never tears a read.
+func TestDifferentialConcurrentReaders(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	const seedObjects = 60
+	ds := datagen.Generate(datagen.Config{
+		Name: "diff-rw", NumObjects: seedObjects, VocabSize: 32, AvgKeywords: 3, Seed: 9,
+	})
+	st := New(core.NewEngine(ds, 0), Options{CompactFrac: 0.05})
+	defer st.Close()
+	model := newReplayer(ds)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rng := rand.New(rand.NewSource(77))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := st.Pin()
+			loc := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+			words := []string{fmt.Sprintf("w%06d", rng.Intn(8)), fmt.Sprintf("w%06d", rng.Intn(8))}
+			if res, err := query(g, loc, words, core.MaxSum, core.OwnerAppro); err == nil {
+				// Every member the pinned generation returned must resolve
+				// to a key of that same generation — a torn read would
+				// surface as an out-of-range panic or a -race report.
+				for _, id := range res.Set {
+					_ = g.Key(id)
+				}
+			}
+			g.Unpin()
+		}
+	}()
+
+	stream := datagen.NewChurnStream(datagen.ChurnConfig{
+		Seed: 9, Ops: 300, SeedKeys: seedObjects, Vocab: 32,
+	})
+	for {
+		op, ok := stream.Next()
+		if !ok {
+			break
+		}
+		model.apply(op)
+		flushChurn(t, st, []Op{toEpochOp(op)})
+	}
+	waitIdle(t, st)
+	close(stop)
+	<-done
+
+	ref, refKeys := model.rebuild("diff-rw", st.opts.Fanout)
+	g := st.Pin()
+	defer g.Unpin()
+	rng := rand.New(rand.NewSource(78))
+	for qi := 0; qi < 6; qi++ {
+		loc := geo.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000}
+		words := []string{fmt.Sprintf("w%06d", rng.Intn(8)), fmt.Sprintf("w%06d", rng.Intn(8))}
+		for _, cost := range allCosts {
+			diffQuery(t, g, ref, refKeys, loc, words, cost, core.OwnerExact)
+		}
+	}
+}

@@ -1,0 +1,709 @@
+// Package epoch makes the bulk-loaded CoSKQ index live: an RCU-style
+// snapshot layer where writers batch mutations (insert, tombstone
+// delete, keyword edit) into immutable deltas, a background applier
+// merges the deltas — and compacts tombstones — into a fresh
+// IR-tree/inverted-index generation, and readers pin a snapshot pointer
+// so every search runs against one internally consistent generation
+// from keyword resolution through answer rendering.
+//
+// The torn-index impossibility argument (DESIGN.md §16) rests on three
+// properties enforced here:
+//
+//  1. Generations are immutable. A *Generation's engine, dataset and
+//     key table are never mutated after the atomic pointer swap that
+//     publishes them; readers that obtained a generation (pinned or
+//     not) can never observe a partially applied delta.
+//  2. The applier is crash-safe by copy-on-write. It merges deltas into
+//     a private clone of the object table and builds the next engine
+//     entirely off to the side; any failure before the final commit —
+//     including injected panics at the EpochApply/EpochSwap/CompactRun
+//     fault points — leaves the published generation, the table, and
+//     the pending delta queue untouched, so a retry is idempotent.
+//  3. Writers never block readers. Mutations enqueue under a store
+//     mutex the read path never takes; when the applier falls behind,
+//     the bounded backlog rejects writes (ErrBacklogFull → HTTP 429),
+//     never reads.
+//
+// Pin/Unpin refcounts do not gate the swap (RCU: writers never wait for
+// readers); they exist so operators can see long-lived pins
+// (coskq_epoch_pinned_readers) and so the coskq-lint epochpin analyzer
+// can machine-check that every pin is released on all paths.
+package epoch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"coskq/internal/core"
+	"coskq/internal/dataset"
+	"coskq/internal/fault"
+	"coskq/internal/geo"
+	"coskq/internal/trace"
+)
+
+// OpKind names a mutation. The strings are the wire vocabulary of
+// POST /objects.
+type OpKind string
+
+const (
+	OpInsert OpKind = "insert"
+	OpDelete OpKind = "delete"
+	OpEdit   OpKind = "edit"
+)
+
+// Op is one mutation. Keys are stable object identities that survive
+// generation rebuilds (dataset.ObjectIDs are dense per-generation
+// indexes and are reassigned on every rebuild). Inserts may carry a
+// caller-chosen key (HasKey) or have one assigned from the store's
+// high-watermark; deletes and edits address an existing live key.
+// Edits are keyword-only — Loc is ignored on OpEdit (an object that
+// moves is a delete + insert, which also makes the move visible to
+// spatial pruning as the two events it really is).
+type Op struct {
+	Kind   OpKind
+	Key    uint64
+	HasKey bool // insert only: Key was supplied by the caller
+	Loc    geo.Point
+	Words  []string
+}
+
+// ItemStatus is the per-op outcome of ApplyBatch, in the established
+// per-item error vocabulary: an empty Err means the op was accepted
+// into a delta (it becomes visible at the next generation swap), and
+// Key echoes the — possibly assigned — object key.
+type ItemStatus struct {
+	Key uint64
+	Err string
+}
+
+// Per-item error vocabulary (mirrors the /batch endpoint's style).
+const (
+	errUnknownKey    = "unknown key"
+	errKeyExists     = "key exists"
+	errEmptyKeywords = "empty keywords"
+	errBadOp         = "bad op"
+)
+
+// ErrBacklogFull is returned by ApplyBatch when accepting the batch
+// would push the pending-delta backlog past Options.MaxBacklog — the
+// applier has fallen behind and the write path degrades with a 429.
+// Reads are never throttled.
+var ErrBacklogFull = errors.New("epoch: delta backlog full")
+
+// ErrClosed is returned by ApplyBatch after Close.
+var ErrClosed = errors.New("epoch: store closed")
+
+// entry is one slot of the logical object table. A tombstoned slot
+// (dead) keeps its position so the relative order of live entries — and
+// therefore the dense ObjectID assignment of every rebuilt generation —
+// is a pure function of the mutation history; compaction drops dead
+// slots without reordering the live ones.
+type entry struct {
+	key   uint64
+	loc   geo.Point
+	words []string
+	dead  bool
+}
+
+// delta is one immutable batch of validated ops awaiting application.
+type delta struct {
+	ops []Op
+}
+
+// Generation is one published snapshot: an engine (IR-tree + inverted
+// index + vocabulary) over the dataset at generation Gen, plus the
+// ObjectID→key table that maps its dense ids back to stable keys.
+// Everything reachable from a Generation is immutable.
+type Generation struct {
+	Gen  uint64
+	Eng  *core.Engine
+	Keys []uint64 // ObjectID → stable key
+
+	pins  atomic.Int64
+	gauge func(delta float64) // pinned-readers gauge hook (nil-safe)
+}
+
+// Key maps a dense per-generation ObjectID to its stable key.
+func (g *Generation) Key(id dataset.ObjectID) uint64 { return g.Keys[id] }
+
+// Pins returns the current pin count (observability/tests).
+func (g *Generation) Pins() int64 { return g.pins.Load() }
+
+// Unpin releases a pin taken by Store.Pin. Every Pin must be matched by
+// exactly one Unpin on all paths (machine-checked by the epochpin
+// analyzer); the generation itself stays valid afterwards — unpinned
+// generations are reclaimed by the garbage collector once unreachable.
+func (g *Generation) Unpin() {
+	g.pins.Add(-1)
+	if g.gauge != nil {
+		g.gauge(-1)
+	}
+}
+
+// Options configures a Store.
+type Options struct {
+	// Fanout is the IR-tree fanout used for rebuilt generations.
+	// Zero defaults to 16 (the repo-wide default fanout).
+	Fanout int
+
+	// MaxBacklog bounds the number of pending ops across all queued
+	// deltas; ApplyBatch returns ErrBacklogFull beyond it. Zero
+	// defaults to 4096.
+	MaxBacklog int
+
+	// CompactFrac is the tombstone fraction of the table at which the
+	// applier compacts (drops dead slots). Zero defaults to 0.25;
+	// negative disables compaction.
+	CompactFrac float64
+
+	// SeqCap bounds the idempotency-token LRU (ApplyBatchSeq). Zero
+	// defaults to 1024.
+	SeqCap int
+
+	// RetryDelay is the applier's backoff after a failed (faulted)
+	// apply attempt. Zero defaults to 2ms.
+	RetryDelay time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Fanout <= 0 {
+		o.Fanout = 16
+	}
+	if o.MaxBacklog <= 0 {
+		o.MaxBacklog = 4096
+	}
+	if o.CompactFrac == 0 {
+		o.CompactFrac = 0.25
+	}
+	if o.SeqCap <= 0 {
+		o.SeqCap = 1024
+	}
+	if o.RetryDelay <= 0 {
+		o.RetryDelay = 2 * time.Millisecond
+	}
+	return o
+}
+
+// Store is the live update layer over one logical object collection.
+// Readers call Pin/Unpin; writers call ApplyBatch (or ApplyBatchSeq for
+// idempotent retries); a single background applier goroutine turns
+// pending deltas into fresh generations. Safe for concurrent use.
+type Store struct {
+	opts  Options
+	proto *core.Engine // knob donor for NewEngineLike rebuilds
+
+	mu         sync.Mutex
+	table      []entry
+	byKey      map[uint64]int // key → table slot (live or tombstoned)
+	deadSlots  int
+	pending    []delta
+	pendingOps int
+	nextKey    uint64
+	seq        *seqLRU
+	closed     bool
+
+	cur atomic.Pointer[Generation]
+
+	kick chan struct{}
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	lastApply atomic.Pointer[trace.Export]
+
+	m storeMetrics
+}
+
+// New builds a Store seeded from an existing engine: the seed dataset's
+// objects become table entries with stable keys 0..n-1 and the engine
+// itself is published as generation 0 (no rebuild), so wrapping a
+// static deployment costs nothing until the first mutation. The
+// engine's serving knobs (budget, parallelism, degrade policy, metrics,
+// NN-cache capacity) are inherited by every rebuilt generation.
+func New(eng *core.Engine, opts Options) *Store {
+	opts = opts.withDefaults()
+	s := &Store{
+		opts:  opts,
+		proto: eng,
+		byKey: make(map[uint64]int, eng.DS.Len()),
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+	}
+	s.m.init(eng)
+	n := eng.DS.Len()
+	s.table = make([]entry, n)
+	keys := make([]uint64, n)
+	for i := range eng.DS.Objects {
+		o := &eng.DS.Objects[i]
+		words := make([]string, 0, o.Keywords.Len())
+		for _, id := range o.Keywords {
+			words = append(words, eng.DS.Vocab.Word(id))
+		}
+		s.table[i] = entry{key: uint64(i), loc: o.Loc, words: words}
+		s.byKey[uint64(i)] = i
+		keys[i] = uint64(i)
+	}
+	s.nextKey = uint64(n)
+	s.seq = newSeqLRU(opts.SeqCap)
+	gen := &Generation{Gen: 0, Eng: eng, Keys: keys, gauge: s.m.pinGauge()}
+	s.cur.Store(gen)
+	s.m.generation.Set(0)
+	s.wg.Add(1)
+	go s.run()
+	return s
+}
+
+// Close stops the applier and waits for it to drain. Pending deltas
+// that have not been applied are dropped; subsequent ApplyBatch calls
+// fail with ErrClosed. Reads (Pin) keep working against the last
+// published generation.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// Pin returns the current generation with its refcount held. The loop
+// re-checks the pointer after incrementing so a pin can never land on a
+// generation that was already superseded before the count was visible.
+// Callers must Unpin on every path (epochpin-checked).
+func (s *Store) Pin() *Generation {
+	for {
+		g := s.cur.Load()
+		g.pins.Add(1)
+		if s.cur.Load() == g {
+			if g.gauge != nil {
+				g.gauge(1)
+			}
+			return g
+		}
+		g.pins.Add(-1)
+	}
+}
+
+// Current returns the published generation number without pinning.
+func (s *Store) Current() uint64 { return s.cur.Load().Gen }
+
+// Backlog returns the number of pending (accepted, not yet applied)
+// ops.
+func (s *Store) Backlog() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pendingOps
+}
+
+// LastApply returns the trace export of the most recent successful
+// apply pass (nil before the first), with epoch.apply / epoch.compact /
+// epoch.build phase spans.
+func (s *Store) LastApply() *trace.Export { return s.lastApply.Load() }
+
+// ApplyBatch validates ops against the logical state (table plus every
+// pending delta, plus earlier ops of this same batch), enqueues the
+// accepted ones as one immutable delta and kicks the applier. The
+// returned statuses are per-op in batch order; a non-nil error means
+// the whole batch was rejected (backlog full, store closed) and
+// nothing was enqueued.
+func (s *Store) ApplyBatch(ops []Op) ([]ItemStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if s.pendingOps+len(ops) > s.opts.MaxBacklog {
+		s.m.backlogRejects.Add(1)
+		return nil, ErrBacklogFull
+	}
+	statuses := make([]ItemStatus, len(ops))
+	// overlay tracks liveness decided earlier in this batch.
+	overlay := make(map[uint64]bool)
+	accepted := make([]Op, 0, len(ops))
+	for i, op := range ops {
+		st := &statuses[i]
+		st.Key = op.Key
+		switch op.Kind {
+		case OpInsert:
+			if len(op.Words) == 0 {
+				st.Err = errEmptyKeywords
+				continue
+			}
+			if op.HasKey {
+				if live, decided := overlay[op.Key]; decided && live || !decided && s.liveLocked(op.Key) {
+					st.Err = errKeyExists
+					continue
+				}
+			} else {
+				op.Key = s.nextKey
+				s.nextKey++
+				st.Key = op.Key
+			}
+			if op.Key >= s.nextKey {
+				s.nextKey = op.Key + 1
+			}
+			overlay[op.Key] = true
+			accepted = append(accepted, op)
+		case OpDelete:
+			if !s.liveOverlay(op.Key, overlay) {
+				st.Err = errUnknownKey
+				continue
+			}
+			overlay[op.Key] = false
+			accepted = append(accepted, op)
+		case OpEdit:
+			if len(op.Words) == 0 {
+				st.Err = errEmptyKeywords
+				continue
+			}
+			if !s.liveOverlay(op.Key, overlay) {
+				st.Err = errUnknownKey
+				continue
+			}
+			accepted = append(accepted, op)
+		default:
+			st.Err = errBadOp
+		}
+	}
+	if len(accepted) > 0 {
+		s.pending = append(s.pending, delta{ops: accepted})
+		s.pendingOps += len(accepted)
+		s.m.mutations.Add(uint64(len(accepted)))
+		s.m.backlog.Set(float64(s.pendingOps))
+		select {
+		case s.kick <- struct{}{}:
+		default:
+		}
+	}
+	return statuses, nil
+}
+
+// ApplyBatchSeq is ApplyBatch with an idempotency token: a batch
+// retried with the same non-empty seq (after a lost response) is
+// applied at most once — the recorded statuses of the first acceptance
+// are replayed verbatim, including assigned keys. Tokens live in a
+// bounded LRU (Options.SeqCap).
+func (s *Store) ApplyBatchSeq(seq string, ops []Op) (statuses []ItemStatus, replayed bool, err error) {
+	if seq == "" {
+		st, err := s.ApplyBatch(ops)
+		return st, false, err
+	}
+	s.mu.Lock()
+	if st, ok := s.seq.get(seq); ok {
+		s.mu.Unlock()
+		s.m.seqReplays.Add(1)
+		return st, true, nil
+	}
+	s.mu.Unlock()
+	st, err := s.ApplyBatch(ops)
+	if err != nil {
+		// Rejected batches record nothing: a retry after 429 should
+		// re-attempt, not replay the rejection.
+		return nil, false, err
+	}
+	s.mu.Lock()
+	s.seq.put(seq, st)
+	s.mu.Unlock()
+	return st, false, nil
+}
+
+// liveLocked reports whether key is live in the logical state: the
+// newest pending op touching it wins; otherwise the table decides.
+// Callers hold s.mu.
+func (s *Store) liveLocked(key uint64) bool {
+	for i := len(s.pending) - 1; i >= 0; i-- {
+		ops := s.pending[i].ops
+		for j := len(ops) - 1; j >= 0; j-- {
+			if ops[j].Key != key {
+				continue
+			}
+			switch ops[j].Kind {
+			case OpDelete:
+				return false
+			default: // insert or edit
+				return true
+			}
+		}
+	}
+	if slot, ok := s.byKey[key]; ok {
+		return !s.table[slot].dead
+	}
+	return false
+}
+
+func (s *Store) liveOverlay(key uint64, overlay map[uint64]bool) bool {
+	if live, decided := overlay[key]; decided {
+		return live
+	}
+	return s.liveLocked(key)
+}
+
+// run is the applier daemon: wait for a kick, then apply pending deltas
+// until the queue drains, backing off briefly after a failed (faulted)
+// attempt so retries never spin.
+func (s *Store) run() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-s.kick:
+		}
+		for {
+			applied, err := s.applyOnce()
+			if err != nil {
+				s.m.applyFailures.Add(1)
+				select {
+				case <-s.stop:
+					return
+				case <-time.After(s.opts.RetryDelay):
+				}
+				continue
+			}
+			if !applied {
+				break
+			}
+		}
+	}
+}
+
+// applyOnce builds and publishes one generation from the currently
+// pending deltas. Everything up to the commit happens on private
+// copies; a panic injected at any fault point unwinds through the
+// shield below, leaving the store exactly as it was — which is what
+// makes the retry in run idempotent. Returns (false, nil) when there
+// was nothing to do.
+func (s *Store) applyOnce() (applied bool, err error) {
+	s.mu.Lock()
+	if len(s.pending) == 0 {
+		s.mu.Unlock()
+		return false, nil
+	}
+	// Snapshot. The table and the delta slices are immutable between
+	// commits, so sharing them outside the lock is safe.
+	deltas := s.pending[:len(s.pending):len(s.pending)]
+	baseTable := s.table
+	baseDead := s.deadSlots
+	s.mu.Unlock()
+
+	defer func() {
+		if r := recover(); r != nil {
+			switch p := r.(type) {
+			case fault.Unwind:
+				err = p
+			case fault.Crash:
+				err = fmt.Errorf("epoch: injected crash at %s", p.Point)
+			default:
+				panic(r)
+			}
+		}
+	}()
+
+	tr := trace.New("epoch.applier")
+	root := tr.Begin("epoch.apply")
+
+	// Copy-on-write merge.
+	newTable := make([]entry, len(baseTable), len(baseTable)+opCount(deltas))
+	copy(newTable, baseTable)
+	newByKey := make(map[uint64]int, len(baseTable))
+	for i := range newTable {
+		newByKey[newTable[i].key] = i
+	}
+	dead := baseDead
+	var nOps int
+	for _, d := range deltas {
+		fault.Hit(fault.EpochApply)
+		for _, op := range d.ops {
+			nOps++
+			switch op.Kind {
+			case OpInsert:
+				if slot, ok := newByKey[op.Key]; ok && newTable[slot].dead {
+					// Re-insert of a tombstoned key: the old slot stays
+					// dead (compaction reaps it); the key points at the
+					// fresh entry appended below.
+					delete(newByKey, op.Key)
+				}
+				newByKey[op.Key] = len(newTable)
+				newTable = append(newTable, entry{key: op.Key, loc: op.Loc, words: op.Words})
+			case OpDelete:
+				slot := newByKey[op.Key]
+				e := newTable[slot] // copy, then tombstone: slots are never mutated in place twice
+				e.dead = true
+				newTable[slot] = e
+				dead++
+			case OpEdit:
+				slot := newByKey[op.Key]
+				e := newTable[slot]
+				e.words = op.Words
+				newTable[slot] = e
+			}
+		}
+	}
+	root.Attr("ops", float64(nOps))
+	root.Attr("deltas", float64(len(deltas)))
+	root.End()
+
+	// Tombstone compaction: drop dead slots once they exceed the
+	// configured fraction of the table. Live order is preserved, so
+	// compaction never changes any generation's answers — only memory.
+	if s.opts.CompactFrac >= 0 && dead > 0 &&
+		float64(dead) >= s.opts.CompactFrac*float64(len(newTable)) {
+		sp := tr.Begin("epoch.compact")
+		fault.Hit(fault.CompactRun)
+		compacted := make([]entry, 0, len(newTable)-dead)
+		for _, e := range newTable {
+			if !e.dead {
+				compacted = append(compacted, e)
+			}
+		}
+		newTable = compacted
+		newByKey = make(map[uint64]int, len(newTable))
+		for i := range newTable {
+			newByKey[newTable[i].key] = i
+		}
+		sp.Attr("reaped", float64(dead))
+		dead = 0
+		sp.End()
+		s.m.compactions.Add(1)
+	}
+
+	// Build the next generation off to the side.
+	sp := tr.Begin("epoch.build")
+	b := dataset.NewBuilder(s.proto.DS.Name)
+	keys := make([]uint64, 0, len(newTable)-dead)
+	for _, e := range newTable {
+		if e.dead {
+			continue
+		}
+		b.Add(e.loc, e.words...)
+		keys = append(keys, e.key)
+	}
+	ds := b.Build()
+	eng := core.NewEngineLike(s.proto, ds, s.opts.Fanout)
+	sp.Attr("objects", float64(len(keys)))
+	sp.End()
+
+	// Commit: one last fault window, then swap under the lock.
+	fault.Hit(fault.EpochSwap)
+	s.mu.Lock()
+	old := s.cur.Load()
+	gen := &Generation{Gen: old.Gen + 1, Eng: eng, Keys: keys, gauge: s.m.pinGauge()}
+	s.table = newTable
+	s.byKey = newByKey
+	s.deadSlots = dead
+	s.pending = s.pending[len(deltas):]
+	s.pendingOps -= nOps
+	s.cur.Store(gen)
+	s.m.generation.Set(float64(gen.Gen))
+	s.m.backlog.Set(float64(s.pendingOps))
+	s.m.applies.Add(1)
+	s.mu.Unlock()
+
+	tr.Finish()
+	s.lastApply.Store(tr.Export())
+	return true, nil
+}
+
+func opCount(deltas []delta) int {
+	n := 0
+	for _, d := range deltas {
+		n += len(d.ops)
+	}
+	return n
+}
+
+// WaitIdle blocks until every accepted op has been applied (the
+// pending queue is empty) or ctx expires. Test and benchmark helper.
+func (s *Store) WaitIdle(ctx context.Context) error {
+	for {
+		s.mu.Lock()
+		idle := s.pendingOps == 0
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+// seqLRU is the bounded idempotency-token table: token → recorded
+// statuses, evicting least-recently-used. Guarded by the store mutex.
+type seqLRU struct {
+	cap  int
+	m    map[string]*seqNode
+	head *seqNode // most recent
+	tail *seqNode
+}
+
+type seqNode struct {
+	key        string
+	st         []ItemStatus
+	prev, next *seqNode
+}
+
+func newSeqLRU(cap int) *seqLRU {
+	return &seqLRU{cap: cap, m: make(map[string]*seqNode, cap)}
+}
+
+func (l *seqLRU) get(key string) ([]ItemStatus, bool) {
+	n, ok := l.m[key]
+	if !ok {
+		return nil, false
+	}
+	l.unlink(n)
+	l.pushFront(n)
+	return n.st, true
+}
+
+func (l *seqLRU) put(key string, st []ItemStatus) {
+	if n, ok := l.m[key]; ok {
+		n.st = st
+		l.unlink(n)
+		l.pushFront(n)
+		return
+	}
+	n := &seqNode{key: key, st: st}
+	l.m[key] = n
+	l.pushFront(n)
+	for len(l.m) > l.cap {
+		ev := l.tail
+		l.unlink(ev)
+		delete(l.m, ev.key)
+	}
+}
+
+func (l *seqLRU) pushFront(n *seqNode) {
+	n.prev = nil
+	n.next = l.head
+	if l.head != nil {
+		l.head.prev = n
+	}
+	l.head = n
+	if l.tail == nil {
+		l.tail = n
+	}
+}
+
+func (l *seqLRU) unlink(n *seqNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		l.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		l.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

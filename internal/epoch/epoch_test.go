@@ -1,0 +1,342 @@
+package epoch
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"coskq/internal/core"
+	"coskq/internal/datagen"
+	"coskq/internal/geo"
+	"coskq/internal/kwds"
+	"coskq/internal/testutil"
+)
+
+// seedStore builds a store over a small deterministic dataset.
+func seedStore(t testing.TB, n int, opts Options) *Store {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{
+		Name: "live", NumObjects: n, VocabSize: 40, AvgKeywords: 3, Seed: 42,
+	})
+	st := New(core.NewEngine(ds, 0), opts)
+	t.Cleanup(st.Close)
+	return st
+}
+
+func waitIdle(t testing.TB, st *Store) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := st.WaitIdle(ctx); err != nil {
+		t.Fatalf("WaitIdle: %v (backlog %d)", err, st.Backlog())
+	}
+}
+
+// query resolves words against g's vocabulary and solves. Missing words
+// yield an infeasible query, which callers treat as a valid outcome.
+func query(g *Generation, loc geo.Point, words []string, cost core.CostKind, m core.Method) (core.Result, error) {
+	var set kwds.Set
+	for _, w := range words {
+		if id, ok := g.Eng.DS.Vocab.Lookup(w); ok {
+			set = set.Union(kwds.NewSet(id))
+		} else {
+			return core.Result{}, core.ErrInfeasible
+		}
+	}
+	return g.Eng.Solve(core.Query{Loc: loc, Keywords: set}, cost, m)
+}
+
+func TestSeedGenerationServesWithoutRebuild(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 50, Options{})
+	g := st.Pin()
+	defer g.Unpin()
+	if g.Gen != 0 {
+		t.Fatalf("seed generation = %d, want 0", g.Gen)
+	}
+	if g.Eng.DS.Len() != 50 || len(g.Keys) != 50 {
+		t.Fatalf("seed gen has %d objects, %d keys", g.Eng.DS.Len(), len(g.Keys))
+	}
+	for i, k := range g.Keys {
+		if k != uint64(i) {
+			t.Fatalf("seed key[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestInsertDeleteEditVisibleAfterSwap(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 20, Options{})
+	loc := geo.Point{X: 1, Y: 2}
+	sts, err := st.ApplyBatch([]Op{
+		{Kind: OpInsert, Loc: loc, Words: []string{"zebra", "yak"}},
+		{Kind: OpDelete, Key: 3},
+		{Kind: OpEdit, Key: 5, Loc: loc, Words: []string{"zebra"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sts {
+		if s.Err != "" {
+			t.Fatalf("op %d rejected: %s", i, s.Err)
+		}
+	}
+	if sts[0].Key != 20 {
+		t.Fatalf("assigned key = %d, want 20 (high-watermark)", sts[0].Key)
+	}
+	waitIdle(t, st)
+	g := st.Pin()
+	defer g.Unpin()
+	if g.Gen == 0 {
+		t.Fatal("no swap happened")
+	}
+	// 20 seed objects − 1 delete + 1 insert.
+	if g.Eng.DS.Len() != 20 {
+		t.Fatalf("live objects = %d, want 20", g.Eng.DS.Len())
+	}
+	keys := map[uint64]bool{}
+	for _, k := range g.Keys {
+		keys[k] = true
+	}
+	if keys[3] {
+		t.Fatal("deleted key 3 still live")
+	}
+	if !keys[20] {
+		t.Fatal("inserted key 20 not live")
+	}
+	// The inserted object is findable under its keyword.
+	res, err := query(g, loc, []string{"zebra"}, core.MaxSum, core.OwnerExact)
+	if err != nil {
+		t.Fatalf("query for inserted keyword: %v", err)
+	}
+	found := false
+	for _, id := range res.Set {
+		if g.Key(id) == 20 || g.Key(id) == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("answer %v does not contain the churned objects", res.Set)
+	}
+}
+
+func TestValidationVocabulary(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{})
+	k := uint64(999)
+	sts, err := st.ApplyBatch([]Op{
+		{Kind: OpInsert},                                             // no keywords
+		{Kind: OpDelete, Key: 999},                                   // unknown
+		{Kind: OpEdit, Key: 0},                                       // no keywords
+		{Kind: OpEdit, Key: 999, Words: []string{"w"}},               // unknown
+		{Kind: OpInsert, Key: 0, HasKey: true, Words: []string{"w"}}, // exists
+		{Kind: "frobnicate"},                                         // bad op
+		{Kind: OpInsert, Key: k, HasKey: true, Words: []string{"w"}}, // ok
+		{Kind: OpInsert, Key: k, HasKey: true, Words: []string{"w"}}, // dup within batch
+		{Kind: OpDelete, Key: k},                                     // delete the in-batch insert
+		{Kind: OpEdit, Key: k, Words: []string{"w"}},                 // edit after in-batch delete
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		errEmptyKeywords, errUnknownKey, errEmptyKeywords, errUnknownKey,
+		errKeyExists, errBadOp, "", errKeyExists, "", errUnknownKey,
+	}
+	for i, w := range want {
+		if sts[i].Err != w {
+			t.Fatalf("op %d: err %q, want %q", i, sts[i].Err, w)
+		}
+	}
+	waitIdle(t, st)
+	// Explicit keys bump the high-watermark past them.
+	sts, err = st.ApplyBatch([]Op{{Kind: OpInsert, Words: []string{"w"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sts[0].Key != 1000 {
+		t.Fatalf("assigned key = %d, want 1000", sts[0].Key)
+	}
+}
+
+func TestBacklogBound(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{MaxBacklog: 4})
+	ops := make([]Op, 5)
+	for i := range ops {
+		ops[i] = Op{Kind: OpInsert, Words: []string{"w"}}
+	}
+	if _, err := st.ApplyBatch(ops); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("err = %v, want ErrBacklogFull", err)
+	}
+	if st.m.backlogRejects.Value() == 0 {
+		t.Fatal("backlog reject not counted")
+	}
+	// A batch within the bound is accepted, and reads never block on the
+	// backlog.
+	if _, err := st.ApplyBatch(ops[:2]); err != nil {
+		t.Fatal(err)
+	}
+	g := st.Pin()
+	g.Unpin()
+	waitIdle(t, st)
+}
+
+func TestSeqReplay(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{})
+	ops := []Op{{Kind: OpInsert, Words: []string{"w"}}}
+	first, replayed, err := st.ApplyBatchSeq("tok-1", ops)
+	if err != nil || replayed {
+		t.Fatalf("first apply: replayed=%v err=%v", replayed, err)
+	}
+	again, replayed, err := st.ApplyBatchSeq("tok-1", ops)
+	if err != nil || !replayed {
+		t.Fatalf("retry: replayed=%v err=%v", replayed, err)
+	}
+	if len(again) != 1 || again[0].Key != first[0].Key {
+		t.Fatalf("replay statuses %v != original %v", again, first)
+	}
+	waitIdle(t, st)
+	// The batch applied once: exactly one new object.
+	g := st.Pin()
+	defer g.Unpin()
+	if g.Eng.DS.Len() != 11 {
+		t.Fatalf("live objects = %d, want 11 (single application)", g.Eng.DS.Len())
+	}
+	if st.m.seqReplays.Value() != 1 {
+		t.Fatalf("seqReplays = %d, want 1", st.m.seqReplays.Value())
+	}
+}
+
+func TestSeqRejectedBatchNotRecorded(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{MaxBacklog: 2})
+	ops := make([]Op, 3)
+	for i := range ops {
+		ops[i] = Op{Kind: OpInsert, Words: []string{"w"}}
+	}
+	if _, _, err := st.ApplyBatchSeq("tok-r", ops); !errors.Is(err, ErrBacklogFull) {
+		t.Fatalf("err = %v, want ErrBacklogFull", err)
+	}
+	// The retry with the same token must re-attempt, not replay the
+	// rejection.
+	sts, replayed, err := st.ApplyBatchSeq("tok-r", ops[:1])
+	if err != nil || replayed {
+		t.Fatalf("retry after reject: replayed=%v err=%v", replayed, err)
+	}
+	if sts[0].Err != "" {
+		t.Fatalf("retry rejected: %s", sts[0].Err)
+	}
+	waitIdle(t, st)
+}
+
+func TestSeqLRUBounded(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{SeqCap: 2})
+	for _, tok := range []string{"a", "b", "c"} {
+		if _, _, err := st.ApplyBatchSeq(tok, []Op{{Kind: OpInsert, Words: []string{"w"}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// "a" was evicted: its retry re-applies (fresh key), no replay flag.
+	_, replayed, err := st.ApplyBatchSeq("a", []Op{{Kind: OpInsert, Words: []string{"w"}}})
+	if err != nil || replayed {
+		t.Fatalf("evicted token: replayed=%v err=%v", replayed, err)
+	}
+	_, replayed, _ = st.ApplyBatchSeq("c", nil)
+	if !replayed {
+		t.Fatal("recent token evicted too early")
+	}
+	waitIdle(t, st)
+}
+
+func TestPinUnpinGauge(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{})
+	g1 := st.Pin()
+	g2 := st.Pin()
+	if g1 != g2 {
+		t.Fatal("two pins of one quiescent store returned different generations")
+	}
+	if got := g1.Pins(); got != 2 {
+		t.Fatalf("pins = %d, want 2", got)
+	}
+	if got := st.m.pinnedReaders.Value(); got != 2 {
+		t.Fatalf("pinnedReaders gauge = %v, want 2", got)
+	}
+	g1.Unpin()
+	g2.Unpin()
+	if got := st.m.pinnedReaders.Value(); got != 0 {
+		t.Fatalf("pinnedReaders gauge after unpin = %v, want 0", got)
+	}
+}
+
+func TestCloseRejectsWritesKeepsReads(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{})
+	if _, err := st.ApplyBatch([]Op{{Kind: OpInsert, Words: []string{"w"}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, st)
+	st.Close()
+	st.Close() // idempotent
+	if _, err := st.ApplyBatch([]Op{{Kind: OpInsert, Words: []string{"w"}}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	g := st.Pin()
+	defer g.Unpin()
+	if g.Eng.DS.Len() != 11 {
+		t.Fatalf("reads after close see %d objects, want 11", g.Eng.DS.Len())
+	}
+}
+
+func TestCompactionPreservesAnswersAndReapsTombstones(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	// CompactFrac 0.01: any tombstone triggers compaction.
+	st := seedStore(t, 40, Options{CompactFrac: 0.01})
+	for k := uint64(0); k < 10; k++ {
+		if _, err := st.ApplyBatch([]Op{{Kind: OpDelete, Key: k}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitIdle(t, st)
+	if st.m.compactions.Value() == 0 {
+		t.Fatal("no compaction ran")
+	}
+	st.mu.Lock()
+	tableLen, dead := len(st.table), st.deadSlots
+	st.mu.Unlock()
+	if dead != 0 || tableLen != 30 {
+		t.Fatalf("post-compaction table: %d slots, %d dead; want 30, 0", tableLen, dead)
+	}
+	g := st.Pin()
+	defer g.Unpin()
+	if g.Eng.DS.Len() != 30 {
+		t.Fatalf("live objects = %d, want 30", g.Eng.DS.Len())
+	}
+}
+
+func TestLastApplyTrace(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
+	st := seedStore(t, 10, Options{})
+	if st.LastApply() != nil {
+		t.Fatal("trace before first apply")
+	}
+	if _, err := st.ApplyBatch([]Op{{Kind: OpInsert, Words: []string{"w"}}}); err != nil {
+		t.Fatal(err)
+	}
+	waitIdle(t, st)
+	testutil.WaitFor(t, 2*time.Second, "apply trace", func() bool { return st.LastApply() != nil })
+	xp := st.LastApply()
+	names := map[string]bool{}
+	for _, sp := range xp.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"epoch.apply", "epoch.build"} {
+		if !names[want] {
+			t.Fatalf("apply trace lacks span %q (spans %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package epoch
+
+import (
+	"coskq/internal/core"
+	"coskq/internal/metrics"
+)
+
+// storeMetrics are the coskq_epoch_* series. When the seed engine
+// carries a metrics sink they register in its registry and show up on
+// /metrics; otherwise they count privately (nil-safe everywhere the
+// store touches them, because every field is always allocated).
+type storeMetrics struct {
+	generation     *metrics.Gauge   // coskq_epoch_generation
+	pinnedReaders  *metrics.Gauge   // coskq_epoch_pinned_readers
+	backlog        *metrics.Gauge   // coskq_epoch_backlog_ops
+	mutations      *metrics.Counter // coskq_epoch_mutations_total
+	applies        *metrics.Counter // coskq_epoch_applies_total
+	applyFailures  *metrics.Counter // coskq_epoch_apply_failures_total
+	compactions    *metrics.Counter // coskq_epoch_compactions_total
+	backlogRejects *metrics.Counter // coskq_epoch_backlog_rejects_total
+	seqReplays     *metrics.Counter // coskq_epoch_seq_replays_total
+}
+
+func (m *storeMetrics) init(eng *core.Engine) {
+	if eng != nil && eng.Metrics != nil {
+		reg := eng.Metrics.Registry()
+		m.generation = reg.Gauge("coskq_epoch_generation")
+		m.pinnedReaders = reg.Gauge("coskq_epoch_pinned_readers")
+		m.backlog = reg.Gauge("coskq_epoch_backlog_ops")
+		m.mutations = reg.Counter("coskq_epoch_mutations_total")
+		m.applies = reg.Counter("coskq_epoch_applies_total")
+		m.applyFailures = reg.Counter("coskq_epoch_apply_failures_total")
+		m.compactions = reg.Counter("coskq_epoch_compactions_total")
+		m.backlogRejects = reg.Counter("coskq_epoch_backlog_rejects_total")
+		m.seqReplays = reg.Counter("coskq_epoch_seq_replays_total")
+		return
+	}
+	m.generation = new(metrics.Gauge)
+	m.pinnedReaders = new(metrics.Gauge)
+	m.backlog = new(metrics.Gauge)
+	m.mutations = new(metrics.Counter)
+	m.applies = new(metrics.Counter)
+	m.applyFailures = new(metrics.Counter)
+	m.compactions = new(metrics.Counter)
+	m.backlogRejects = new(metrics.Counter)
+	m.seqReplays = new(metrics.Counter)
+}
+
+// pinGauge returns the pinned-readers gauge as the delta hook every
+// Generation carries, so Pin/Unpin stay decoupled from the store.
+func (m *storeMetrics) pinGauge() func(float64) {
+	g := m.pinnedReaders
+	return func(d float64) { g.Add(d) }
+}

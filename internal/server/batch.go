@@ -119,6 +119,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeSolveError(w, err)
 		return
 	}
+	// One pin covers the whole batch: keyword resolution, the grouped
+	// solve and answer rendering all see the same generation.
+	eng, _, release := s.pinned()
+	defer release()
 
 	// Per-item keyword resolution: an unresolvable query fails in place
 	// without poisoning the batch. Valid queries keep their request
@@ -131,7 +135,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		var missing []string
 		for _, wrd := range bq.Kw {
 			wrd = strings.TrimSpace(wrd)
-			if id, ok := s.eng.DS.Vocab.Lookup(wrd); ok {
+			if id, ok := eng.DS.Vocab.Lookup(wrd); ok {
 				keywords = keywords.Union(kwds.NewSet(id))
 			} else {
 				missing = append(missing, wrd)
@@ -151,7 +155,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	ctx := r.Context()
 	start := time.Now()
-	out := s.requestEngine(ctx).SolveBatchCtx(ctx, queries, cost, method, workers)
+	out := s.requestEngine(ctx, eng).SolveBatchCtx(ctx, queries, cost, method, workers)
 	degraded := false
 	for j, item := range out {
 		i := idx[j]
@@ -165,7 +169,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		items[i] = batchItemJSON{
 			Cost:     res.Cost,
-			Objects:  s.objectsJSON(queries[j], res.Set),
+			Objects:  s.objectsJSON(eng, queries[j], res.Set),
 			Degraded: res.Degraded,
 			Reason:   string(res.Stats.DegradeReason),
 		}

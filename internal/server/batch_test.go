@@ -9,6 +9,7 @@ import (
 
 	"coskq/internal/core"
 	"coskq/internal/geo"
+	"coskq/internal/testutil"
 )
 
 func postBatch(t *testing.T, url string, req batchRequest, wantStatus int) (batchResponse, *http.Response) {
@@ -37,6 +38,7 @@ func postBatch(t *testing.T, url string, req batchRequest, wantStatus int) (batc
 // TestBatchEndpoint: a mixed batch answers every item, and each answer
 // matches the engine's own single-query solve exactly.
 func TestBatchEndpoint(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	srv, eng := testServer(t)
 	req := batchRequest{
 		Cost: "maxsum",
@@ -77,6 +79,7 @@ func TestBatchEndpoint(t *testing.T) {
 // TestBatchEndpointPerItemErrors: a bad query fails in place without
 // taking down its batch mates.
 func TestBatchEndpointPerItemErrors(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	srv, _ := testServer(t)
 	req := batchRequest{
 		Queries: []batchQueryJSON{
@@ -100,6 +103,7 @@ func TestBatchEndpointPerItemErrors(t *testing.T) {
 
 // TestBatchEndpointVariants: cost/method/workers selections apply.
 func TestBatchEndpointVariants(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	srv, _ := testServer(t)
 	req := batchRequest{
 		Cost:    "dia",
@@ -116,14 +120,15 @@ func TestBatchEndpointVariants(t *testing.T) {
 // TestBatchEndpointBadRequests: request-level failures reject the whole
 // batch with 400.
 func TestBatchEndpointBadRequests(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	srv, _ := testServer(t)
 	oversize := batchRequest{Queries: make([]batchQueryJSON, maxBatchQueries+1)}
 	for i := range oversize.Queries {
 		oversize.Queries[i] = batchQueryJSON{Kw: []string{"cafe"}}
 	}
 	cases := []batchRequest{
-		{},             // no queries
-		oversize,       // too many queries
+		{},       // no queries
+		oversize, // too many queries
 		{Cost: "bogus", Queries: []batchQueryJSON{{Kw: []string{"cafe"}}}},
 		{Method: "bogus", Queries: []batchQueryJSON{{Kw: []string{"cafe"}}}},
 	}
@@ -154,6 +159,7 @@ func TestBatchEndpointBadRequests(t *testing.T) {
 
 // TestBatchEndpointGet: /batch is POST-only.
 func TestBatchEndpointGet(t *testing.T) {
+	testutil.CheckGoroutineLeaks(t)
 	srv, _ := testServer(t)
 	resp, err := http.Get(srv.URL + "/batch")
 	if err != nil {

@@ -36,6 +36,7 @@ import (
 	"coskq/internal/core"
 	"coskq/internal/datagen"
 	"coskq/internal/dataset"
+	"coskq/internal/epoch"
 	"coskq/internal/fault"
 	"coskq/internal/geo"
 	"coskq/internal/kwds"
@@ -114,6 +115,22 @@ func New(eng *core.Engine) http.Handler { return NewWith(eng, Options{}) }
 // NewWith returns the handler stack over eng. When eng.Metrics is nil it
 // is set here (call before the engine starts serving queries elsewhere).
 func NewWith(eng *core.Engine, opts Options) http.Handler {
+	return newEngineServer(eng, nil, opts)
+}
+
+// NewLive returns the handler stack over a live epoch store: the same
+// read surface as NewWith — with every read request pinning one
+// generation end-to-end, from keyword resolution through answer
+// rendering — plus the mutation surface (POST /objects and the
+// streaming POST /objects/stream). The caller owns the store's
+// lifecycle (Close it after the listener stops).
+func NewLive(st *epoch.Store, opts Options) http.Handler {
+	g := st.Pin()
+	defer g.Unpin()
+	return newEngineServer(g.Eng, st, opts)
+}
+
+func newEngineServer(eng *core.Engine, st *epoch.Store, opts Options) http.Handler {
 	reg := opts.Registry
 	if reg == nil {
 		if eng.Metrics != nil {
@@ -127,6 +144,7 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	}
 	s := newBase(opts, reg)
 	s.eng = eng
+	s.store = st
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.Handle("GET /query", s.adm.middleware(http.HandlerFunc(s.handleQuery)))
@@ -140,6 +158,13 @@ func NewWith(eng *core.Engine, opts Options) http.Handler {
 	mux.HandleFunc("GET /shard/meta", s.handleShardMeta)
 	mux.Handle("GET /shard/nn", s.adm.middleware(http.HandlerFunc(s.handleShardNN)))
 	mux.Handle("GET /shard/collect", s.adm.middleware(http.HandlerFunc(s.handleShardCollect)))
+	if st != nil {
+		// The write path is not behind the admission controller: a
+		// mutation batch only validates and enqueues, and its own
+		// overload control is the store's bounded backlog (429).
+		mux.HandleFunc("POST /objects", s.handleObjects)
+		mux.HandleFunc("POST /objects/stream", s.handleObjectsStream)
+	}
 	return s.wrap(mux, opts.Timeout)
 }
 
@@ -194,6 +219,7 @@ var httpLatencyBuckets = []float64{
 
 type server struct {
 	eng         *core.Engine
+	store       *epoch.Store
 	reg         *metrics.Registry
 	log         *slog.Logger
 	slow        *trace.SlowLog
@@ -206,19 +232,41 @@ type server struct {
 
 	shardOnce sync.Once
 	shardB    *shard.EngineBackend
+
+	// Live shard-backend cache: one wrapped backend per generation, so
+	// the data plane doesn't rescan the dataset for its keyword summary
+	// on every call (shardMu guards both fields).
+	shardMu      sync.Mutex
+	shardLive    *shard.EngineBackend
+	shardLiveGen uint64
 }
 
-// requestEngine returns the engine one request solves on: the shared
-// engine when no per-request knobs apply, else a shallow clone carrying
-// the server's degrade policy and — when the request has a deadline and
-// a budget rate is configured — a node budget proportional to the time
-// remaining. The clone shares every index and the metrics sink; only
-// the scalar knobs differ.
-func (s *server) requestEngine(ctx context.Context) *core.Engine {
-	if s.degrade == core.DegradeFail && s.budgetRate <= 0 {
-		return s.eng
+// pinned returns the engine this request serves from, its generation,
+// and a release func. A static server returns the fixed engine at
+// generation 0 with a no-op release; a live server pins the store's
+// current generation so the whole request — keyword resolution, solve,
+// answer rendering — sees one consistent snapshot. Callers must invoke
+// release on every path (deferred; the epochpin analyzer checks the
+// underlying Pin/Unpin balance inside the live branch).
+func (s *server) pinned() (*core.Engine, uint64, func()) {
+	if s.store == nil {
+		return s.eng, 0, func() {}
 	}
-	run := *s.eng
+	g := s.store.Pin()
+	return g.Eng, g.Gen, g.Unpin
+}
+
+// requestEngine returns the engine one request solves on: the pinned
+// base engine when no per-request knobs apply, else a shallow clone
+// carrying the server's degrade policy and — when the request has a
+// deadline and a budget rate is configured — a node budget proportional
+// to the time remaining. The clone shares every index and the metrics
+// sink; only the scalar knobs differ.
+func (s *server) requestEngine(ctx context.Context, base *core.Engine) *core.Engine {
+	if s.degrade == core.DegradeFail && s.budgetRate <= 0 {
+		return base
+	}
+	run := *base
 	run.Degrade = s.degrade
 	if s.budgetRate > 0 {
 		if dl, ok := ctx.Deadline(); ok {
@@ -290,6 +338,10 @@ func routeLabel(path string) string {
 		return "/shard/nn"
 	case "/shard/collect":
 		return "/shard/collect"
+	case "/objects":
+		return "/objects"
+	case "/objects/stream":
+		return "/objects/stream"
 	default:
 		return "other"
 	}
@@ -480,6 +532,7 @@ func writeSolveError(w http.ResponseWriter, err error) {
 
 type statsResponse struct {
 	Name        string  `json:"name"`
+	Gen         uint64  `json:"gen"`
 	Objects     int     `json:"objects"`
 	UniqueWords int     `json:"uniqueWords"`
 	Words       int     `json:"words"`
@@ -490,11 +543,18 @@ type statsResponse struct {
 // before the listener starts, so reaching this handler means the server
 // can answer queries.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, map[string]any{
+	eng, gen, release := s.pinned()
+	defer release()
+	body := map[string]any{
 		"status":  "ok",
-		"dataset": s.eng.DS.Name,
-		"objects": s.eng.DS.Len(),
-	})
+		"dataset": eng.DS.Name,
+		"objects": eng.DS.Len(),
+	}
+	if s.store != nil {
+		body["gen"] = gen
+		body["backlog"] = s.store.Backlog()
+	}
+	writeJSON(w, body)
 }
 
 // handleMetrics serves the text exposition of every counter and
@@ -505,9 +565,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := s.eng.DS.Stats()
+	eng, gen, release := s.pinned()
+	defer release()
+	st := eng.DS.Stats()
 	writeJSON(w, statsResponse{
-		Name:        s.eng.DS.Name,
+		Name:        eng.DS.Name,
+		Gen:         gen,
 		Objects:     st.NumObjects,
 		UniqueWords: st.NumUniqueWords,
 		Words:       st.NumWords,
@@ -626,8 +689,10 @@ func (s *server) handleSlowLog(w http.ResponseWriter, r *http.Request) {
 }
 
 // parseQuery extracts the common query parameters (location, keywords,
-// cost) from the request.
-func (s *server) parseQuery(r *http.Request) (core.Query, core.CostKind, error) {
+// cost) from the request, resolving keywords against the pinned
+// engine's vocabulary so a live server's parse and solve agree on one
+// generation.
+func (s *server) parseQuery(eng *core.Engine, r *http.Request) (core.Query, core.CostKind, error) {
 	q := r.URL.Query()
 	x, errX := strconv.ParseFloat(q.Get("x"), 64)
 	y, errY := strconv.ParseFloat(q.Get("y"), 64)
@@ -641,7 +706,7 @@ func (s *server) parseQuery(r *http.Request) (core.Query, core.CostKind, error) 
 		var missing []string
 		for _, wrd := range strings.Split(q.Get("kw"), ",") {
 			wrd = strings.TrimSpace(wrd)
-			if id, ok := s.eng.DS.Vocab.Lookup(wrd); ok {
+			if id, ok := eng.DS.Vocab.Lookup(wrd); ok {
 				keywords = keywords.Union(kwds.NewSet(id))
 			} else {
 				missing = append(missing, wrd)
@@ -661,7 +726,7 @@ func (s *server) parseQuery(r *http.Request) (core.Query, core.CostKind, error) 
 				seed = parsed
 			}
 		}
-		g := datagen.NewQueryGen(s.eng.DS, s.eng.Inv, 0, 40, seed)
+		g := datagen.NewQueryGen(eng.DS, eng.Inv, 0, 40, seed)
 		_, keywords = g.Next(k)
 	default:
 		return core.Query{}, 0, fmt.Errorf("provide kw=a,b,c or k=N")
@@ -712,13 +777,13 @@ func methodByName(s string) (core.Method, bool) {
 	return 0, false
 }
 
-func (s *server) objectsJSON(q core.Query, ids []dataset.ObjectID) []objectJSON {
+func (s *server) objectsJSON(eng *core.Engine, q core.Query, ids []dataset.ObjectID) []objectJSON {
 	out := make([]objectJSON, len(ids))
 	for i, id := range ids {
-		o := s.eng.DS.Object(id)
+		o := eng.DS.Object(id)
 		words := make([]string, o.Keywords.Len())
 		for j, kid := range o.Keywords {
-			words[j] = s.eng.DS.Vocab.Word(kid)
+			words[j] = eng.DS.Vocab.Word(kid)
 		}
 		out[i] = objectJSON{
 			ID: uint32(id), X: o.Loc.X, Y: o.Loc.Y,
@@ -730,7 +795,9 @@ func (s *server) objectsJSON(q core.Query, ids []dataset.ObjectID) []objectJSON 
 }
 
 func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	q, cost, err := s.parseQuery(r)
+	eng, _, release := s.pinned()
+	defer release()
+	q, cost, err := s.parseQuery(eng, r)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -746,7 +813,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, tr, explain := s.beginTrace(r, "query")
 	start := time.Now()
-	res, err := s.requestEngine(ctx).SolveCtx(ctx, q, cost, method)
+	res, err := s.requestEngine(ctx, eng).SolveCtx(ctx, q, cost, method)
 	x := s.finishTrace(r, tr, time.Since(start), err, nil)
 	if err != nil {
 		writeSolveError(w, err)
@@ -760,7 +827,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		CostKind:  cost.String(),
 		Method:    method.String(),
 		ElapsedMs: float64(res.Stats.Elapsed.Microseconds()) / 1000,
-		Objects:   s.objectsJSON(q, res.Set),
+		Objects:   s.objectsJSON(eng, q, res.Set),
 		Degraded:  res.Degraded,
 		Reason:    string(res.Stats.DegradeReason),
 	}
@@ -776,7 +843,9 @@ type topKResponse struct {
 }
 
 func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
-	q, cost, err := s.parseQuery(r)
+	eng, _, release := s.pinned()
+	defer release()
+	q, cost, err := s.parseQuery(eng, r)
 	if err != nil {
 		jsonError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -799,7 +868,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, tr, explain := s.beginTrace(r, "topk")
 	start := time.Now()
-	results, err := s.requestEngine(ctx).TopKCtx(ctx, q, cost, n)
+	results, err := s.requestEngine(ctx, eng).TopKCtx(ctx, q, cost, n)
 	x := s.finishTrace(r, tr, time.Since(start), err, nil)
 	if err != nil {
 		writeSolveError(w, err)
@@ -813,7 +882,7 @@ func (s *server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		resp.Results[i] = queryResponse{
 			Cost:     res.Cost,
 			CostKind: cost.String(),
-			Objects:  s.objectsJSON(q, res.Set),
+			Objects:  s.objectsJSON(eng, q, res.Set),
 			Degraded: res.Degraded,
 			Reason:   string(res.Stats.DegradeReason),
 		}

@@ -40,6 +40,27 @@ func (s *server) shardBackend() *shard.EngineBackend {
 	return s.shardB
 }
 
+// pinnedShardBackend resolves the backend one shard data-plane call
+// runs against, together with the generation header it must report and
+// the unpin release. A static server reuses the lazy singleton at
+// generation 0. A live server pins the current generation and wraps its
+// engine once per generation — WrapEngine scans the dataset for the
+// keyword summary, so the wrap is cached until the store swaps.
+func (s *server) pinnedShardBackend() (*shard.EngineBackend, uint64, func()) {
+	if s.store == nil {
+		return s.shardBackend(), 0, func() {}
+	}
+	g := s.store.Pin()
+	s.shardMu.Lock()
+	if s.shardLive == nil || s.shardLiveGen != g.Gen {
+		s.shardLive = shard.WrapEngine(g.Eng.DS.Name, g.Eng)
+		s.shardLiveGen = g.Gen
+	}
+	b := s.shardLive
+	s.shardMu.Unlock()
+	return b, g.Gen, g.Unpin
+}
+
 // shardMetaJSON is the /shard/meta body (client.ShardMetaResponse).
 type shardMetaJSON struct {
 	Name    string  `json:"name"`
@@ -50,6 +71,7 @@ type shardMetaJSON struct {
 	MaxY    float64 `json:"maxY"`
 	Empty   bool    `json:"empty"`
 	Summary string  `json:"summary"`
+	Gen     uint64  `json:"gen"`
 }
 
 // shardNNHitJSON is one /shard/nn entry (client.ShardNNHit).
@@ -63,6 +85,10 @@ type shardNNHitJSON struct {
 }
 
 type shardNNJSON struct {
+	// Gen is the generation header: the epoch generation the answer was
+	// computed against (0 on a static server). The router cross-checks
+	// it between a scatter's NN and Collect phases.
+	Gen  uint64           `json:"gen"`
 	Hits []shardNNHitJSON `json:"hits"`
 	// Trace is the handler's trace fragment, present only when the
 	// request carried a valid traceparent header (client.ShardNNResponse
@@ -79,6 +105,7 @@ type shardObjectJSON struct {
 }
 
 type shardCollectJSON struct {
+	Gen     uint64            `json:"gen"`
 	Objects []shardObjectJSON `json:"objects"`
 	Trace   *trace.Export     `json:"trace,omitempty"`
 }
@@ -97,8 +124,10 @@ func beginShardTrace(r *http.Request) (context.Context, *trace.Trace) {
 }
 
 func (s *server) handleShardMeta(w http.ResponseWriter, r *http.Request) {
-	m, _ := s.shardBackend().Meta(r.Context())
-	resp := shardMetaJSON{Name: m.Name, Objects: m.Objects, Summary: m.Summary.Encode()}
+	b, gen, release := s.pinnedShardBackend()
+	defer release()
+	m, _ := b.Meta(r.Context())
+	resp := shardMetaJSON{Name: m.Name, Objects: m.Objects, Summary: m.Summary.Encode(), Gen: gen}
 	if m.Objects == 0 {
 		resp.Empty = true
 	} else {
@@ -142,13 +171,15 @@ func (s *server) handleShardNN(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, tr := beginShardTrace(r)
-	hits, err := s.shardBackend().NN(ctx, sq)
+	b, gen, release := s.pinnedShardBackend()
+	defer release()
+	res, err := b.NN(ctx, sq)
 	if err != nil {
 		writeSolveError(w, err)
 		return
 	}
-	resp := shardNNJSON{Hits: make([]shardNNHitJSON, len(hits))}
-	for i, h := range hits {
+	resp := shardNNJSON{Gen: gen, Hits: make([]shardNNHitJSON, len(res.Hits))}
+	for i, h := range res.Hits {
 		if !h.Found {
 			continue
 		}
@@ -179,13 +210,15 @@ func (s *server) handleShardCollect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ctx, tr := beginShardTrace(r)
-	cands, err := s.shardBackend().Collect(ctx, sq, radius)
+	b, gen, release := s.pinnedShardBackend()
+	defer release()
+	res, err := b.Collect(ctx, sq, radius)
 	if err != nil {
 		writeSolveError(w, err)
 		return
 	}
-	resp := shardCollectJSON{Objects: make([]shardObjectJSON, len(cands))}
-	for i, c := range cands {
+	resp := shardCollectJSON{Gen: gen, Objects: make([]shardObjectJSON, len(res.Objects))}
+	for i, c := range res.Objects {
 		resp.Objects[i] = shardObjectJSON{
 			ID: uint32(c.GID), X: c.Loc.X, Y: c.Loc.Y, Keywords: c.Words,
 		}

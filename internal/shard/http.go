@@ -41,7 +41,7 @@ func (b *HTTPBackend) Meta(ctx context.Context) (Meta, error) {
 	if !m.Empty {
 		mbr = geo.Rect{MinX: m.MinX, MinY: m.MinY, MaxX: m.MaxX, MaxY: m.MaxY}
 	}
-	return Meta{Name: m.Name, Objects: m.Objects, MBR: mbr, Summary: sum}, nil
+	return Meta{Name: m.Name, Objects: m.Objects, MBR: mbr, Summary: sum, Gen: m.Gen}, nil
 }
 
 // attachFragment validates a shard's trace fragment and grafts it into
@@ -67,11 +67,11 @@ func (b *HTTPBackend) FetchMetrics(ctx context.Context) ([]byte, error) {
 	return b.C.MetricsText(ctx)
 }
 
-// NN implements Backend.
-func (b *HTTPBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
+// NN implements Backend, surfacing the peer's generation header.
+func (b *HTTPBackend) NN(ctx context.Context, q ShardQuery) (NNResult, error) {
 	resp, err := b.C.ShardNN(ctx, q.Loc.X, q.Loc.Y, q.Words)
 	if err != nil {
-		return nil, err
+		return NNResult{}, err
 	}
 	attachFragment(ctx, resp.Trace)
 	hits := make([]NNHit, len(resp.Hits))
@@ -89,14 +89,14 @@ func (b *HTTPBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
 			},
 		}
 	}
-	return hits, nil
+	return NNResult{Gen: resp.Gen, Hits: hits}, nil
 }
 
-// Collect implements Backend.
-func (b *HTTPBackend) Collect(ctx context.Context, q ShardQuery, radius float64) ([]Candidate, error) {
+// Collect implements Backend, surfacing the peer's generation header.
+func (b *HTTPBackend) Collect(ctx context.Context, q ShardQuery, radius float64) (CollectResult, error) {
 	resp, err := b.C.ShardCollect(ctx, q.Loc.X, q.Loc.Y, radius, q.Words)
 	if err != nil {
-		return nil, err
+		return CollectResult{}, err
 	}
 	attachFragment(ctx, resp.Trace)
 	out := make([]Candidate, len(resp.Objects))
@@ -107,5 +107,5 @@ func (b *HTTPBackend) Collect(ctx context.Context, q ShardQuery, radius float64)
 			Words: o.Keywords,
 		}
 	}
-	return out, nil
+	return CollectResult{Gen: resp.Gen, Objects: out}, nil
 }

@@ -20,8 +20,20 @@ import (
 // ShardFailure records one failed shard call of a routed query.
 type ShardFailure struct {
 	Shard int
-	Phase string // "meta", "nn", "collect"
+	Phase string // "meta", "nn", "collect", "gen"
 	Err   error
+}
+
+// genMismatch is the error recorded when one shard's NN and Collect
+// answers came from different index generations — a torn scatter. The
+// router retries the whole route (bounded); a mismatch that survives
+// the retries is a shard failure with phase "gen".
+type genMismatch struct {
+	NNGen, CollectGen uint64
+}
+
+func (e *genMismatch) Error() string {
+	return fmt.Sprintf("generation changed mid-scatter: nn saw gen %d, collect saw gen %d", e.NNGen, e.CollectGen)
 }
 
 // ShardError is the error a routed query returns when shard failures
@@ -52,6 +64,9 @@ type RouteInfo struct {
 	SeedCost      float64 // cost U of the merged nearest-neighbor set N(q)
 	Radius        float64 // gather radius (= SeedCost for every cost kind)
 	PoolSize      int     // objects the pool engine solved over
+	// GenRetries counts full-route retries forced by a torn scatter (a
+	// shard whose NN and Collect generations differed).
+	GenRetries int
 	// Calls is the per-shard RPC breakdown (both scatter phases, shard
 	// order within each phase) — the slow-query log records it so a slow
 	// distributed query answers "which shard" without reading the trace.
@@ -76,6 +91,7 @@ type Metrics struct {
 	degraded      *metrics.Counter
 	prunedKeyword *metrics.Counter
 	prunedMBR     *metrics.Counter
+	genRetries    *metrics.Counter
 	poolSize      *metrics.Histogram
 }
 
@@ -87,7 +103,14 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 		degraded:      reg.Counter("coskq_shard_degraded_total"),
 		prunedKeyword: reg.Counter(`coskq_shard_pruned_total{reason="keyword"}`),
 		prunedMBR:     reg.Counter(`coskq_shard_pruned_total{reason="mbr"}`),
+		genRetries:    reg.Counter("coskq_shard_gen_retries_total"),
 		poolSize:      reg.Histogram("coskq_shard_pool_objects", []float64{1, 4, 16, 64, 256, 1024, 4096}),
+	}
+}
+
+func (m *Metrics) genRetry() {
+	if m != nil {
+		m.genRetries.Inc()
 	}
 }
 
@@ -441,9 +464,21 @@ func (r *Router) scatter(ctx context.Context, phase string, grp *trace.Group, sh
 	return errs, calls
 }
 
+// genRouteAttempts bounds how often a route torn by a mid-scatter
+// generation swap is retried before the torn shard counts as failed.
+const genRouteAttempts = 3
+
 // RouteWords answers one CoSKQ query over the shard fleet. Keywords are
 // strings; each shard resolves them against its own vocabulary, so the
 // router needs none. See Router for failure semantics.
+//
+// Live (epoch-backed) shards stamp every data-plane answer with their
+// index generation; when a shard's NN and Collect answers disagree the
+// scatter is torn — its gather radius was proved against one snapshot
+// and its pool gathered from another — so the whole route is retried
+// from the NN phase. A mismatch persisting past genRouteAttempts
+// demotes the shard to a failure with phase "gen" and the configured
+// degrade policy decides, exactly as for a dead shard.
 func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, cost core.CostKind, method core.Method) (Answer, error) {
 	words = dedupeWords(words)
 	if len(words) == 0 {
@@ -456,6 +491,25 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 		return Answer{}, err
 	}
 	r.Metrics.query()
+	for attempt := 0; ; attempt++ {
+		ans, torn, err := r.routeOnce(ctx, loc, words, cost, method, attempt+1 == genRouteAttempts)
+		ans.Info.GenRetries = attempt
+		if !torn || attempt+1 == genRouteAttempts {
+			return ans, err
+		}
+		// Poll between attempts: a cancelled query must not pay another
+		// full scatter.
+		if cerr := ctx.Err(); cerr != nil {
+			return ans, cerr
+		}
+		r.Metrics.genRetry()
+	}
+}
+
+// routeOnce runs one scatter-gather attempt. torn reports that a
+// generation mismatch was detected; unless final is set, the caller
+// discards the answer and retries.
+func (r *Router) routeOnce(ctx context.Context, loc geo.Point, words []string, cost core.CostKind, method core.Method, final bool) (_ Answer, torn bool, _ error) {
 	tr := trace.FromContext(ctx)
 	sq := ShardQuery{Loc: loc, Words: words}
 	info := RouteInfo{Shards: len(r.Backends)}
@@ -481,16 +535,18 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	// nearest neighbor per word by (distance, shard ordinal) — the
 	// deterministic tie order the merge contract promises.
 	hits := make([][]NNHit, len(r.Backends))
+	nnGens := make([]uint64, len(r.Backends))
 	grp := tr.BeginGroup("shard_nn")
 	nnErrs, nnCalls := r.scatter(ctx, "nn", grp, alive, func(c context.Context, ord int) error {
 		h, err := r.Backends[ord].NN(c, sq)
 		if err != nil {
 			return err
 		}
-		if len(h) != len(words) {
-			return fmt.Errorf("shard returned %d NN hits for %d keywords", len(h), len(words))
+		if len(h.Hits) != len(words) {
+			return fmt.Errorf("shard returned %d NN hits for %d keywords", len(h.Hits), len(words))
 		}
-		hits[ord] = h
+		hits[ord] = h.Hits
+		nnGens[ord] = h.Gen
 		return nil
 	})
 	grp.Attr("shards", float64(len(alive)))
@@ -526,13 +582,13 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 			if len(info.Failed) > 0 {
 				// A failed shard may hold the missing keyword; claiming
 				// infeasibility would be a lie.
-				return Answer{Info: info}, r.failError(info)
+				return Answer{Info: info}, torn, r.failError(info)
 			}
-			return Answer{Info: info}, core.ErrInfeasible
+			return Answer{Info: info}, torn, core.ErrInfeasible
 		}
 	}
 	if len(info.Failed) > 0 && r.Degrade == core.DegradeFail {
-		return Answer{Info: info}, r.failError(info)
+		return Answer{Info: info}, torn, r.failError(info)
 	}
 
 	// Phase 3: the gather radius. U = cost(N(q)) upper-bounds the
@@ -574,11 +630,14 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	collected := make([][]Candidate, len(r.Backends))
 	grp = tr.BeginGroup("shard_collect")
 	colErrs, colCalls := r.scatter(ctx, "collect", grp, keep, func(c context.Context, ord int) error {
-		cands, err := r.Backends[ord].Collect(c, sq, info.Radius)
+		res, err := r.Backends[ord].Collect(c, sq, info.Radius)
 		if err != nil {
 			return err
 		}
-		collected[ord] = cands
+		if res.Gen != nnGens[ord] {
+			return &genMismatch{NNGen: nnGens[ord], CollectGen: res.Gen}
+		}
+		collected[ord] = res.Objects
 		return nil
 	})
 	grp.Attr("shards", float64(len(keep)))
@@ -589,11 +648,25 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	for _, ord := range keep {
 		if colErrs[ord] != nil {
 			failed[ord] = true
-			info.Failed = append(info.Failed, ShardFailure{Shard: ord, Phase: "collect", Err: colErrs[ord]})
+			phase := "collect"
+			var gm *genMismatch
+			if errors.As(colErrs[ord], &gm) {
+				phase = "gen"
+				torn = true
+				if se, ok := colErrs[ord].(*ShardError); ok {
+					se.Phase = "gen"
+				}
+			}
+			info.Failed = append(info.Failed, ShardFailure{Shard: ord, Phase: phase, Err: colErrs[ord]})
 		}
 	}
+	if torn && !final {
+		// The answer would merge data from two generations of one shard;
+		// discard it and let RouteWords re-scatter from the NN phase.
+		return Answer{Info: info}, true, nil
+	}
 	if len(info.Failed) > 0 && r.Degrade == core.DegradeFail {
-		return Answer{Info: info}, r.failError(info)
+		return Answer{Info: info}, torn, r.failError(info)
 	}
 
 	// Phase 6: deterministic merge. Collect results shard by shard in
@@ -639,7 +712,7 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 		id, ok := ds.Vocab.Lookup(w)
 		if !ok {
 			// Unreachable: every word is covered by a pooled NN seed.
-			return Answer{Info: info}, fmt.Errorf("shard: keyword %q lost during gather", w)
+			return Answer{Info: info}, torn, fmt.Errorf("shard: keyword %q lost during gather", w)
 		}
 		qids[i] = id
 	}
@@ -649,7 +722,7 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	eng.Degrade = r.Degrade
 	res, err := eng.SolveCtx(ctx, core.Query{Loc: loc, Keywords: kwds.NewSet(qids...)}, cost, method)
 	if err != nil {
-		return Answer{Info: info}, err
+		return Answer{Info: info}, torn, err
 	}
 	res.Stats.Phases.Materialize += gatherElapsed
 
@@ -672,7 +745,7 @@ func (r *Router) RouteWords(ctx context.Context, loc geo.Point, words []string, 
 	if res.Degraded {
 		r.Metrics.degrade()
 	}
-	return Answer{Result: res, Members: members, Info: info}, nil
+	return Answer{Result: res, Members: members, Info: info}, torn, nil
 }
 
 // failError returns the ShardError a failed routing surfaces: the first

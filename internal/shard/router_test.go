@@ -184,12 +184,13 @@ func TestWrapEngine(t *testing.T) {
 		t.Fatalf("meta = %+v", m)
 	}
 	w := ds.Vocab.Word(0)
-	hits, err := b.NN(context.Background(), ShardQuery{Loc: pt(0, 0), Words: []string{w, "missing-word"}})
+	res, err := b.NN(context.Background(), ShardQuery{Loc: pt(0, 0), Words: []string{w, "missing-word"}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(hits) != 2 || !hits[0].Found || hits[1].Found {
-		t.Fatalf("NN hits = %+v", hits)
+	hits := res.Hits
+	if res.Gen != 0 || len(hits) != 2 || !hits[0].Found || hits[1].Found {
+		t.Fatalf("NN result = %+v", res)
 	}
 	if hits[0].Cand.GID != ds.Object(hits[0].Cand.GID).ID {
 		t.Fatal("identity mapping broken")

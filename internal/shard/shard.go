@@ -119,12 +119,14 @@ func SummaryOf(ds *dataset.Dataset) Summary {
 }
 
 // Meta is a shard's routing summary: enough for the router to prune the
-// shard without calling it.
+// shard without calling it. Gen is the index generation the summary
+// describes — 0 for static shards, the epoch generation for live ones.
 type Meta struct {
 	Name    string
 	Objects int
 	MBR     geo.Rect
 	Summary Summary
+	Gen     uint64
 }
 
 // ShardQuery is the query a Backend call receives. Keywords travel as
@@ -155,6 +157,24 @@ type NNHit struct {
 	Cand  Candidate
 }
 
+// NNResult is one shard's answer to an NN scatter: the per-keyword hits
+// plus the generation header of the index that produced them. Static
+// shards always report Gen 0; live (epoch-backed) shards report their
+// pinned generation, and the router uses the header to detect a scatter
+// whose NN and Collect phases saw different generations of the same
+// shard — a torn scatter it retries rather than merges.
+type NNResult struct {
+	Gen  uint64
+	Hits []NNHit
+}
+
+// CollectResult is one shard's answer to a Collect scatter, with the
+// same generation header contract as NNResult.
+type CollectResult struct {
+	Gen     uint64
+	Objects []Candidate
+}
+
 // MetricsFetcher is an optional Backend capability: fetching the
 // shard's own /metrics text exposition so the coordinator can serve a
 // federated, cluster-wide page (/metrics?federate=1). HTTP backends
@@ -179,11 +199,13 @@ type Backend interface {
 	// Meta returns the shard's routing summary.
 	Meta(ctx context.Context) (Meta, error)
 	// NN returns, for each query word, the shard's nearest object
-	// containing it. The returned slice has len(q.Words) entries.
-	NN(ctx context.Context, q ShardQuery) ([]NNHit, error)
+	// containing it. The result's Hits slice has len(q.Words) entries;
+	// Gen is the generation header described on NNResult.
+	NN(ctx context.Context, q ShardQuery) (NNResult, error)
 	// Collect returns every object within radius of q.Loc sharing at
-	// least one keyword with q.Words.
-	Collect(ctx context.Context, q ShardQuery, radius float64) ([]Candidate, error)
+	// least one keyword with q.Words, under the same generation-header
+	// contract as NN.
+	Collect(ctx context.Context, q ShardQuery, radius float64) (CollectResult, error)
 }
 
 // EngineBackend serves one in-process shard from a core.Engine built
@@ -243,14 +265,15 @@ func (b *EngineBackend) candidate(o *dataset.Object) Candidate {
 	return Candidate{GID: b.global(o.ID), Loc: o.Loc, Words: words}
 }
 
-// NN implements Backend.
-func (b *EngineBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
+// NN implements Backend. A static engine backend is always generation
+// 0.
+func (b *EngineBackend) NN(ctx context.Context, q ShardQuery) (NNResult, error) {
 	tr := trace.FromContext(ctx)
 	sp := tr.Begin("nn_probes")
 	defer sp.End()
 	hits := make([]NNHit, len(q.Words))
 	if b.Eng == nil {
-		return hits, nil
+		return NNResult{Hits: hits}, nil
 	}
 	found := 0
 	for i, w := range q.Words {
@@ -273,17 +296,18 @@ func (b *EngineBackend) NN(ctx context.Context, q ShardQuery) ([]NNHit, error) {
 	}
 	sp.Attr("keywords", float64(len(q.Words)))
 	sp.Attr("found", float64(found))
-	return hits, nil
+	return NNResult{Hits: hits}, nil
 }
 
-// Collect implements Backend.
-func (b *EngineBackend) Collect(ctx context.Context, q ShardQuery, radius float64) ([]Candidate, error) {
+// Collect implements Backend. A static engine backend is always
+// generation 0.
+func (b *EngineBackend) Collect(ctx context.Context, q ShardQuery, radius float64) (CollectResult, error) {
 	tr := trace.FromContext(ctx)
 	sp := tr.Begin("collect_scan")
 	defer sp.End()
 	sp.Attr("radius", radius)
 	if b.Eng == nil {
-		return nil, nil
+		return CollectResult{}, nil
 	}
 	ids := make([]kwds.ID, 0, len(q.Words))
 	for _, w := range q.Words {
@@ -292,7 +316,7 @@ func (b *EngineBackend) Collect(ctx context.Context, q ShardQuery, radius float6
 		}
 	}
 	if len(ids) == 0 {
-		return nil, nil
+		return CollectResult{}, nil
 	}
 	qi := kwds.NewQueryIndex(kwds.NewSet(ids...))
 	var out []Candidate
@@ -301,5 +325,5 @@ func (b *EngineBackend) Collect(ctx context.Context, q ShardQuery, radius float6
 		return true
 	})
 	sp.Attr("objects", float64(len(out)))
-	return out, nil
+	return CollectResult{Objects: out}, nil
 }
